@@ -1,0 +1,169 @@
+"""Experiment harness shared by the benchmark files.
+
+Builds join specs (with sampled skew markings, exactly as the offline
+chooser of paper section 3.4 would), streams workloads through HyLD
+operators, and prices the measured counters with the calibrated cost
+model.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo
+from repro.core.schema import Relation
+from repro.core.statistics import SkewDetector, profile_column
+from repro.costmodel import CostBreakdown, CostModel
+from repro.joins import HyLDOperator
+from repro.joins.hyld import HyLDStats
+
+
+def interleave(data: Dict[str, List[tuple]], seed: int = 0) -> List[Tuple[str, tuple]]:
+    """Shuffled (relation, row) stream -- online arrival."""
+    rng = random.Random(seed)
+    stream = [(name, row) for name, rows in data.items() for row in rows]
+    rng.shuffle(stream)
+    return stream
+
+
+def profiled_relation_info(relation: Relation, name: str, join_attrs: List[str],
+                           machines: int) -> RelationInfo:
+    """RelationInfo with sampled skew markings for the given join attrs."""
+    detector = SkewDetector()
+    skewed = set()
+    top_freq: Dict[str, float] = {}
+    for attr in join_attrs:
+        position = relation.schema.index_of(attr)
+        stats = profile_column(row[position] for row in relation.rows[:50_000])
+        top_freq[attr] = stats.top_frequency
+        if detector.is_skewed(stats, machines):
+            skewed.add(attr)
+    return RelationInfo(name, relation.schema, len(relation.rows),
+                        frozenset(skewed), top_freq)
+
+
+def tpch9_partial_spec(tables: Dict[str, Relation], machines: int) -> JoinSpec:
+    """Lineitem >< PartSupp >< Part: partkey everywhere + suppkey L-PS.
+
+    Matches the paper's TPCH9-Partial, where the Hybrid chooses random
+    partitioning on the (zipf-skewed) Partkey and hash on Suppkey.
+    """
+    lineitem = profiled_relation_info(tables["lineitem"], "lineitem",
+                                      ["partkey", "suppkey"], machines)
+    partsupp = profiled_relation_info(tables["partsupp"], "partsupp",
+                                      ["partkey", "suppkey"], machines)
+    part = profiled_relation_info(tables["part"], "part", ["partkey"], machines)
+    return JoinSpec(
+        [lineitem, partsupp, part],
+        [
+            EquiCondition(("lineitem", "partkey"), ("partsupp", "partkey")),
+            EquiCondition(("partsupp", "partkey"), ("part", "partkey")),
+            EquiCondition(("lineitem", "suppkey"), ("partsupp", "suppkey")),
+        ],
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """One scheme x local-join run: measured stats + modelled runtime."""
+
+    label: str
+    stats: HyLDStats
+    cost: CostBreakdown
+    partitioning: str
+
+    @property
+    def runtime(self) -> float:
+        return self.cost.total
+
+    @property
+    def completed(self) -> bool:
+        return not self.stats.memory_overflow
+
+
+def run_hyld_experiment(
+    spec: JoinSpec,
+    data: Dict[str, List[tuple]],
+    machines: int,
+    scheme: str,
+    local_join: str = "dbtoaster",
+    memory_budget: Optional[int] = None,
+    seed: int = 0,
+    model: Optional[CostModel] = None,
+) -> ExperimentResult:
+    """Route a whole workload through one HyLD configuration."""
+    model = model or CostModel()
+    operator = HyLDOperator(
+        spec, machines, scheme=scheme, local_join=local_join, seed=seed,
+        memory_budget=memory_budget, collect_outputs=False,
+    )
+    stats = operator.run(interleave(data, seed=seed))
+    cost = model.hyld_cost(stats, local_join=local_join)
+    if stats.memory_overflow:
+        # extrapolate like the paper: scale by the unprocessed fraction
+        total = sum(len(rows) for rows in data.values())
+        processed = stats.input_count or 1
+        cost = cost.scaled(total / processed)
+    return ExperimentResult(
+        label=f"{scheme}/{local_join}",
+        stats=stats,
+        cost=cost,
+        partitioning=operator.partitioner.describe(),
+    )
+
+
+def run_pipeline_experiment(
+    specs_and_schemes: List[Tuple[JoinSpec, str]],
+    data: Dict[str, List[tuple]],
+    machines: int,
+    local_join: str = "dbtoaster",
+    seed: int = 0,
+    model: Optional[CostModel] = None,
+) -> Tuple[List[HyLDStats], CostBreakdown, int]:
+    """Run a left-deep pipeline of 2-way joins.
+
+    Each stage's output feeds the next stage as relation ``J<i>``.
+    Returns per-stage stats, the combined modelled cost, and the total
+    network tuples (including the shuffled intermediate results, which is
+    what multi-way joins avoid).
+    """
+    model = model or CostModel()
+    operators = [
+        HyLDOperator(spec, machines, scheme=scheme, local_join=local_join,
+                     seed=seed + i, collect_outputs=False)
+        for i, (spec, scheme) in enumerate(specs_and_schemes)
+    ]
+
+    def feed(stage: int, rel_name: str, row: tuple):
+        outputs = operators[stage].insert(rel_name, row)
+        if stage + 1 < len(operators):
+            next_name = f"J{stage + 1}"
+            for out in outputs:
+                feed(stage + 1, next_name, out)
+
+    stage_inputs = [set(spec.relation_names) for spec, _ in specs_and_schemes]
+    for rel_name, row in interleave(data, seed=seed):
+        for stage, names in enumerate(stage_inputs):
+            if rel_name in names:
+                feed(stage, rel_name, row)
+                break
+    stats = [op.stats() for op in operators]
+    cost = model.pipeline_cost([
+        model.hyld_cost(s, local_join=local_join) for s in stats
+    ])
+    network = sum(s.total_network_tuples for s in stats)
+    return stats, cost, network
+
+
+def fmt(value, digits=2):
+    """Compact numeric formatting for report tables."""
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{digits}f}"
+    if isinstance(value, int) and value >= 1000:
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Cluster monitoring: the paper's demonstration scenario (section 6).
+
+We play a large cluster administrator over the Google cluster-monitoring
+trace and run both demo queries:
+
+1. *Machines that are not production-ready*: machines that often fail
+   tasks belonging to production jobs -- a 3-way join between jobs, tasks
+   and machines.
+2. *Google TaskCount* (section 7.4): count of failed tasks per machine id
+   and platform.
+
+Both run with selectable partitioning schemes; the script prints the
+demo-style monitors (replication factor, skew degree, hypercube
+dimensions) for each.
+
+Run:  python examples/cluster_monitoring.py
+"""
+
+from repro.core.optimizer import Catalog, OptimizerOptions
+from repro.datasets import GoogleClusterGenerator
+from repro.sql.catalog import SqlSession
+
+
+def main():
+    print("Generating a synthetic Google cluster-monitoring trace...")
+    generator = GoogleClusterGenerator(
+        n_machines=40, n_jobs=60, n_task_events=2000, fail_fraction=0.15, seed=3
+    )
+    data = generator.generate()
+    for name, relation in data.items():
+        print(f"  {name}: {len(relation)} events")
+    print(f"  (machine+job)/task size ratio: "
+          f"{generator.small_to_large_ratio():.1%} -- paper reports 14.5%")
+
+    session = SqlSession(options=OptimizerOptions(machines=8))
+    for relation in data.values():
+        session.register(relation)
+
+    print("\n=== Query 1: machines that are not production-ready ===")
+    sql_production = """
+        SELECT task_events.machineID, COUNT(*)
+        FROM job_events, task_events, machine_events
+        WHERE task_events.eventType = 'FAIL'
+          AND job_events.production = 1
+          AND job_events.jobID = task_events.jobID
+          AND machine_events.machineID = task_events.machineID
+        GROUP BY task_events.machineID
+    """
+    result = session.execute(sql_production)
+    worst = sorted(result.results, key=lambda row: -row[1])[:5]
+    print("top 5 machines by production-job task failures:")
+    for machine_id, failures in worst:
+        print(f"  machine {machine_id:>3}: {failures} failed production tasks")
+    print(f"join monitors: {result.partitioner_info['join']}")
+    print(f"  replication factor {result.replication_factor('join'):.2f}, "
+          f"skew degree {result.skew_degree('join'):.2f}")
+
+    print("\n=== Query 2: Google TaskCount (paper Figure 8c) ===")
+    sql_taskcount = """
+        SELECT machine_events.machineID, machine_events.platform, COUNT(*)
+        FROM job_events, task_events, machine_events
+        WHERE task_events.eventType = 'FAIL'
+          AND job_events.jobID = task_events.jobID
+          AND machine_events.machineID = task_events.machineID
+        GROUP BY machine_events.machineID, machine_events.platform
+    """
+    for scheme in ("hash", "random", "hybrid"):
+        session.options.scheme = scheme
+        result = session.execute(sql_taskcount)
+        print(f"[{scheme:>6}] {result.partitioner_info['join']}")
+        print(f"         replication {result.replication_factor('join'):.2f}, "
+              f"skew degree {result.skew_degree('join'):.2f}, "
+              f"{len(result.results)} (machine, platform) groups")
+    print("\nAs the paper observes, the three schemes barely differ here: the"
+          "\nsmall relations are a fraction of task_events, so every scheme"
+          "\nbroadcasts them and partitions the big one.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Scheme-aware fault tolerance: recovering a failed joiner from peers.
+
+If the partitioning scheme replicates tuples, a failed node can recover
+its state from peers instead of a disk checkpoint -- network accesses are
+several times faster than disk (paper section 5).  This example routes a
+3-way join through the Random- and Hash-Hypercube schemes, fails a
+machine, and shows which relations each scheme can recover from peers.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import random
+
+from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo
+from repro.core.schema import Schema
+from repro.partitioning import HashHypercube, RandomHypercube
+from repro.storm.failures import ReplicatedStateTracker, checkpoint_plan
+
+
+def make_spec_and_data(n=300, seed=21):
+    rng = random.Random(seed)
+    spec = JoinSpec(
+        [
+            RelationInfo("R", Schema.of("x", "y"), n),
+            RelationInfo("S", Schema.of("y", "z"), n),
+            RelationInfo("T", Schema.of("z", "t"), n),
+        ],
+        [EquiCondition(("R", "y"), ("S", "y")),
+         EquiCondition(("S", "z"), ("T", "z"))],
+    )
+    data = {
+        "R": [(rng.randrange(50), rng.randrange(20)) for _ in range(n)],
+        "S": [(rng.randrange(20), rng.randrange(15)) for _ in range(n)],
+        "T": [(rng.randrange(15), rng.randrange(50)) for _ in range(n)],
+    }
+    return spec, data
+
+
+def demonstrate(name, partitioner, data):
+    print(f"=== {name}: {partitioner.describe()} ===")
+    print("checkpoint plan (True = scheme cannot recover it from peers):")
+    for rel, needs_checkpoint in checkpoint_plan(partitioner).items():
+        print(f"  {rel}: {'checkpoint required' if needs_checkpoint else 'peer-recoverable'}")
+    tracker = ReplicatedStateTracker(partitioner)
+    for rel, rows in data.items():
+        for row in rows:
+            tracker.insert(rel, row)
+    failed = partitioner.n_machines // 2
+    report = tracker.fail_and_recover(failed)
+    print(f"failing machine {failed}:")
+    for rel in sorted(data):
+        slice_size = len(tracker.slice_of(failed, rel))
+        if rel in report.recovered:
+            print(f"  {rel}: recovered {len(report.recovered[rel])}/{slice_size} "
+                  f"tuples from peer machine {report.peer_used[rel]}")
+        elif rel in report.unrecoverable:
+            print(f"  {rel}: {slice_size} tuples UNRECOVERABLE from peers "
+                  f"(needs its checkpoint)")
+    print(f"network tuples moved during recovery: {report.network_tuples}")
+    print(f"fully recovered: {report.fully_recovered}\n")
+
+
+def main():
+    spec, data = make_spec_and_data()
+
+    # Random-Hypercube: every relation replicated -> full peer recovery
+    demonstrate("Random-Hypercube", RandomHypercube.build(spec, 27, seed=1), data)
+
+    # Hash-Hypercube: S owns both dimensions -> S needs a checkpoint
+    demonstrate("Hash-Hypercube", HashHypercube.build(spec, 16, seed=2), data)
+
+    print("The paper's observation: schemes that replicate for skew"
+          "\nresilience get cheap fault tolerance for free, and partially"
+          "\nreplicating schemes only need to checkpoint the parts the"
+          "\nscheme does not already replicate.")
+
+
+if __name__ == "__main__":
+    main()

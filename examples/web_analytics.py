@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""WebAnalytics: hyperlink paths through a super-hub (paper section 7.3).
+
+Builds a synthetic pay-level-domain WebGraph where 'blogspot.com' has the
+highest in-degree, plus the CrawlContent relation with per-URL scores,
+then reports 2-hop paths through the hub joined with content scores --
+the query where only the Hybrid-Hypercube can mix hash partitioning (on
+the skew-free URL key) with random partitioning (on the extreme hot key).
+
+Run:  python examples/web_analytics.py
+"""
+
+from collections import Counter
+
+from repro.core.optimizer import OptimizerOptions
+from repro.datasets import generate_crawlcontent, generate_webgraph
+from repro.datasets.crawlcontent import urls_of_webgraph
+from repro.sql.catalog import SqlSession
+
+HUB = "blogspot.com"
+
+
+def main():
+    print("Generating a pay-level-domain WebGraph with a super-hub...")
+    graph = generate_webgraph(
+        n_nodes=300, n_arcs=4000, seed=5, hub=HUB, hub_fraction=0.25, level="pld"
+    )
+    content = generate_crawlcontent(urls_of_webgraph(graph), seed=6)
+    in_degree = Counter(row[1] for row in graph.rows)
+    print(f"  webgraph: {len(graph)} arcs, {len(content)} distinct URLs")
+    print(f"  highest in-degree: {in_degree.most_common(1)[0]}"
+          f" (the paper's 'blogspot.com' hot key)")
+
+    session = SqlSession(options=OptimizerOptions(machines=8))
+    graph.name = "webgraph"
+    session.register(graph)
+    session.register(content)
+
+    sql = f"""
+        SELECT W1.FromUrl, C.Score, COUNT(*)
+        FROM webgraph AS W1, webgraph AS W2, crawlcontent AS C
+        WHERE W1.ToUrl = '{HUB}' AND W2.FromUrl = '{HUB}'
+          AND W1.ToUrl = W2.FromUrl AND W1.FromUrl = C.Url
+        GROUP BY W1.FromUrl, C.Score
+    """
+    print("\nWebAnalytics query (paper section 7.3):")
+    print(sql)
+
+    for scheme in ("hash", "random", "hybrid"):
+        session.options.scheme = scheme
+        result = session.execute(sql)
+        print(f"[{scheme:>6}] {result.partitioner_info['join']}")
+        print(f"         replication {result.replication_factor('join'):.2f}, "
+              f"skew degree {result.skew_degree('join'):.2f}, "
+              f"{len(result.results)} result groups")
+
+    session.options.scheme = "hybrid"
+    result = session.execute(sql)
+    top = sorted(result.results, key=lambda row: -row[2])[:5]
+    print("\ntop 5 sources linking into the hub (with content scores):")
+    for from_url, score, count in top:
+        print(f"  {from_url:<28} score={score:.3f}  paths={count}")
+    print("\nThe Hybrid-Hypercube hashes on W1.FromUrl = C.Url (primary key,"
+          "\nguaranteed skew-free) and randomises the hub join key -- the only"
+          "\nscheme that does both, which is why it wins Figure 7.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Reproduction of *Squall: Scalable Real-time Analytics* (VLDB 2016).
+
+Squall is an online distributed query engine that runs complex analytics
+using skew-resilient, adaptive operators.  This package re-implements the
+full system in Python:
+
+- :mod:`repro.core` -- schemas, expressions, join predicates, logical and
+  physical query plans, the optimizer and online statistics.
+- :mod:`repro.partitioning` -- the partitioning schemes: hash, 1-Bucket,
+  M-Bucket, EWH, Hash-Hypercube, Random-Hypercube and the paper's novel
+  Hybrid-Hypercube, plus the Adaptive 1-Bucket operator.
+- :mod:`repro.joins` -- local join algorithms: traditional index-based
+  online joins and the DBToaster-style higher-order incremental join, and
+  the HyLD operator that combines a hypercube scheme with local DBToaster.
+- :mod:`repro.storm` -- a faithful in-process simulator of the Storm
+  substrate (spouts, bolts, stream groupings, topologies, metrics).
+- :mod:`repro.engine` -- the online engine: components, relational
+  operators, window semantics and the plan runner.
+- :mod:`repro.sql` / :mod:`repro.functional` -- declarative and functional
+  user interfaces.
+- :mod:`repro.datasets` -- TPC-H, WebGraph, CrawlContent and Google
+  cluster-monitoring workload generators.
+- :mod:`repro.costmodel` -- the calibrated bottleneck cost model used to
+  translate measured loads into runtime estimates.
+"""
+
+from repro.core.schema import Field, Schema, Relation
+from repro.core.predicates import (
+    EquiCondition,
+    BandCondition,
+    ThetaCondition,
+    JoinSpec,
+    RelationInfo,
+)
+from repro.joins.hyld import HyLDOperator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Field",
+    "Schema",
+    "Relation",
+    "EquiCondition",
+    "BandCondition",
+    "ThetaCondition",
+    "JoinSpec",
+    "RelationInfo",
+    "HyLDOperator",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Core data model: schemas, expressions, predicates, plans, statistics."""
+
+from repro.core.schema import Field, Schema, Relation
+from repro.core.predicates import (
+    EquiCondition,
+    BandCondition,
+    ThetaCondition,
+    JoinSpec,
+    RelationInfo,
+)
+
+__all__ = [
+    "Field",
+    "Schema",
+    "Relation",
+    "EquiCondition",
+    "BandCondition",
+    "ThetaCondition",
+    "JoinSpec",
+    "RelationInfo",
+]

@@ -1,0 +1,262 @@
+"""Scalar expressions and row predicates.
+
+Expressions compile against a :class:`~repro.core.schema.Schema` into plain
+Python callables over row tuples, so the per-tuple hot path never performs
+name lookups.  This mirrors Squall's output schemes: each component decides
+its output expressions once, at plan time.
+"""
+
+from __future__ import annotations
+
+import datetime
+import operator
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.core.schema import Schema
+
+_COMPARATORS = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITHMETIC = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+def parse_date(text: str) -> datetime.date:
+    """Parse ``YYYY-MM-DD``.
+
+    Intentionally implemented via :class:`datetime.date` construction (as in
+    Squall, where ``Date`` instance creation from an input string dominates
+    selection cost -- see Figure 5 of the paper).
+    """
+    year, month, day = text.split("-")
+    return datetime.date(int(year), int(month), int(day))
+
+
+class Expression:
+    """Base class for scalar expressions over a row."""
+
+    def compile(self, schema: Schema) -> Callable[[tuple], object]:
+        raise NotImplementedError
+
+    def columns(self) -> Tuple[str, ...]:
+        """Column names referenced by this expression."""
+        return ()
+
+    # Convenience builders so expressions compose fluently.
+    def __add__(self, other):
+        return Arithmetic(self, "+", _wrap(other))
+
+    def __sub__(self, other):
+        return Arithmetic(self, "-", _wrap(other))
+
+    def __mul__(self, other):
+        return Arithmetic(self, "*", _wrap(other))
+
+    def __truediv__(self, other):
+        return Arithmetic(self, "/", _wrap(other))
+
+    def __rmul__(self, other):
+        return Arithmetic(_wrap(other), "*", self)
+
+    def eq(self, other):
+        return Comparison(self, "=", _wrap(other))
+
+    def lt(self, other):
+        return Comparison(self, "<", _wrap(other))
+
+    def le(self, other):
+        return Comparison(self, "<=", _wrap(other))
+
+    def gt(self, other):
+        return Comparison(self, ">", _wrap(other))
+
+    def ge(self, other):
+        return Comparison(self, ">=", _wrap(other))
+
+    def ne(self, other):
+        return Comparison(self, "!=", _wrap(other))
+
+
+def _wrap(value) -> "Expression":
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+@dataclass(frozen=True)
+class Column(Expression):
+    """Reference to a column by name."""
+
+    name: str
+
+    def compile(self, schema: Schema):
+        position = schema.index_of(self.name)
+        return lambda row: row[position]
+
+    def columns(self):
+        return (self.name,)
+
+    def __repr__(self):
+        return f"col({self.name})"
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: object
+
+    def compile(self, schema: Schema):
+        value = self.value
+        return lambda row: value
+
+    def __repr__(self):
+        return f"lit({self.value!r})"
+
+
+@dataclass(frozen=True)
+class DateValue(Expression):
+    """Parse a string-typed column into a date at evaluation time.
+
+    This models the expensive ``Date`` materialisation the paper measures
+    in its Figure 5 bottleneck experiment.
+    """
+
+    inner: Expression
+
+    def compile(self, schema: Schema):
+        inner = self.inner.compile(schema)
+        return lambda row: parse_date(inner(row))
+
+    def columns(self):
+        return self.inner.columns()
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    left: Expression
+    op: str
+    right: Expression
+
+    def __post_init__(self):
+        if self.op not in _ARITHMETIC:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+    def compile(self, schema: Schema):
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        fn = _ARITHMETIC[self.op]
+        return lambda row: fn(left(row), right(row))
+
+    def columns(self):
+        return self.left.columns() + self.right.columns()
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Predicate(Expression):
+    """Boolean-valued expression (selection / having filters)."""
+
+    def __and__(self, other):
+        return And(self, other)
+
+    def __or__(self, other):
+        return Or(self, other)
+
+    def __invert__(self):
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    left: Expression
+    op: str
+    right: Expression
+
+    def __post_init__(self):
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def compile(self, schema: Schema):
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        fn = _COMPARATORS[self.op]
+        return lambda row: fn(left(row), right(row))
+
+    def columns(self):
+        return self.left.columns() + self.right.columns()
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def compile(self, schema: Schema):
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        return lambda row: left(row) and right(row)
+
+    def columns(self):
+        return self.left.columns() + self.right.columns()
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def compile(self, schema: Schema):
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        return lambda row: left(row) or right(row)
+
+    def columns(self):
+        return self.left.columns() + self.right.columns()
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    inner: Predicate
+
+    def compile(self, schema: Schema):
+        inner = self.inner.compile(schema)
+        return lambda row: not inner(row)
+
+    def columns(self):
+        return self.inner.columns()
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """A no-op selection: passes every tuple (used by Figure 5's bottleneck
+    analysis to measure pure selection overhead)."""
+
+    def compile(self, schema: Schema):
+        return lambda row: True
+
+
+def col(name: str) -> Column:
+    """Shorthand constructor for a column reference."""
+    return Column(name)
+
+
+def lit(value) -> Literal:
+    """Shorthand constructor for a literal."""
+    return Literal(value)

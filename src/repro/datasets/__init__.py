@@ -1,0 +1,23 @@
+"""Workload generators for the paper's evaluation datasets.
+
+Real counterparts (10G/80G TPC-H dbgen, the 2012 Common Crawl hyperlink
+graph, the Google cluster-monitoring trace) are replaced by scaled-down
+synthetic generators that preserve exactly what the experiments depend on:
+relative relation sizes, key-frequency distributions (zipf skew knobs),
+join-key structure, and -- for WebGraph -- a designated super-hub node.
+"""
+
+from repro.datasets.zipf import ZipfGenerator, zipf_frequencies
+from repro.datasets.tpch import TPCHGenerator
+from repro.datasets.webgraph import generate_webgraph
+from repro.datasets.crawlcontent import generate_crawlcontent
+from repro.datasets.google_cluster import GoogleClusterGenerator
+
+__all__ = [
+    "ZipfGenerator",
+    "zipf_frequencies",
+    "TPCHGenerator",
+    "generate_webgraph",
+    "generate_crawlcontent",
+    "GoogleClusterGenerator",
+]

@@ -1,0 +1,40 @@
+"""Synthetic CrawlContent relation: {Url, Score}.
+
+The paper's CrawlContent holds per-URL outputs of text-analysis tools
+(readability, sentiment).  The text tools are out of scope there too --
+'the Score is not a join key ... the query performance does not depend on
+the Score values. Thus, we synthesize them.'  We do the same: one row per
+distinct URL of the companion WebGraph, with a synthetic score.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.schema import Relation, Schema
+from repro.util import make_rng
+
+CRAWLCONTENT_SCHEMA = Schema.of("Url:str", "Score:float")
+
+
+def generate_crawlcontent(urls: Iterable[str], seed: int = 0) -> Relation:
+    """One (Url, Score) row per distinct URL; Url is the primary key.
+
+    Being a primary key, ``Url`` is guaranteed skew-free -- the property
+    the Hybrid-Hypercube exploits in the WebAnalytics experiment.
+    """
+    rng = make_rng(seed)
+    rows = [
+        (url, round(rng.uniform(0.0, 1.0), 4))
+        for url in sorted(set(urls))
+    ]
+    return Relation("crawlcontent", CRAWLCONTENT_SCHEMA, rows)
+
+
+def urls_of_webgraph(graph: Relation) -> set:
+    """All distinct URLs (sources and targets) of a WebGraph relation."""
+    urls = set()
+    for from_url, to_url in graph.rows:
+        urls.add(from_url)
+        urls.add(to_url)
+    return urls

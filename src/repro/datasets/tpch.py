@@ -1,0 +1,192 @@
+"""A from-scratch TPC-H data generator with a skew knob.
+
+Generates the eight TPC-H tables at a configurable micro-scale, preserving
+the official relative cardinalities (per scale factor 1.0 of *this*
+generator: 150 customers, 1 500 orders, 6 000 lineitems, 200 parts, 800
+partsupps, 10 suppliers, 25 nations, 5 regions -- the same 15:150:600:20:
+80:1 proportions as dbgen, divided by 1 000).
+
+``skew`` applies a zipf distribution (the paper's evaluation uses skew
+factor 2) to the foreign keys that the skewed experiments join on --
+``lineitem.partkey`` and ``orders.custkey`` -- while ``skew=0`` keeps the
+uniform official behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.schema import Relation, Schema
+from repro.datasets.zipf import ZipfGenerator
+from repro.util import make_rng
+
+NATIONS = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+STATUSES = ["F", "O", "P"]
+RETURN_FLAGS = ["A", "N", "R"]
+BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+
+SCHEMAS = {
+    "region": Schema.of("regionkey", "name:str"),
+    "nation": Schema.of("nationkey", "name:str", "regionkey"),
+    "supplier": Schema.of("suppkey", "name:str", "nationkey", "acctbal:float"),
+    "customer": Schema.of("custkey", "name:str", "nationkey",
+                          "mktsegment:str", "acctbal:float"),
+    "part": Schema.of("partkey", "name:str", "brand:str", "retailprice:float"),
+    "partsupp": Schema.of("partkey", "suppkey", "availqty", "supplycost:float"),
+    "orders": Schema.of("orderkey", "custkey", "orderstatus:str",
+                        "totalprice:float", "orderdate:date",
+                        "orderpriority:str", "shippriority"),
+    "lineitem": Schema.of("orderkey", "partkey", "suppkey", "quantity",
+                          "extendedprice:float", "discount:float",
+                          "shipdate:date", "commitdate:date", "returnflag:str"),
+}
+
+# cardinality per unit scale (dbgen ratios / 1000)
+BASE_COUNTS = {
+    "supplier": 10,
+    "customer": 150,
+    "part": 200,
+    "partsupp": 800,  # 4 suppliers per part
+    "orders": 1500,
+    "lineitem": 6000,  # ~4 lineitems per order
+}
+
+
+def _date(rng, start_year=1992, end_year=1998) -> str:
+    year = rng.randrange(start_year, end_year + 1)
+    month = rng.randrange(1, 13)
+    day = rng.randrange(1, 29)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+class TPCHGenerator:
+    """Generates a consistent micro TPC-H database.
+
+    ``scale`` multiplies every base cardinality; ``skew`` > 0 draws
+    ``lineitem.partkey`` and ``orders.custkey`` from zipf(skew) instead of
+    uniformly (the paper's skewed TPC-H variant).
+    """
+
+    def __init__(self, scale: float = 1.0, skew: float = 0.0, seed: int = 0,
+                 overrides: Optional[Dict[str, int]] = None):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        self.scale = scale
+        self.skew = skew
+        self.seed = seed
+        self.counts = {
+            table: max(1, int(base * scale)) for table, base in BASE_COUNTS.items()
+        }
+        for table, count in (overrides or {}).items():
+            if table not in self.counts:
+                raise ValueError(f"cannot override unknown table {table!r}")
+            if count <= 0:
+                raise ValueError("override counts must be positive")
+            self.counts[table] = count
+
+    def generate(self, tables: Optional[List[str]] = None) -> Dict[str, Relation]:
+        """Generate the requested tables (default: all eight)."""
+        wanted = set(tables or list(SCHEMAS))
+        unknown = wanted - set(SCHEMAS)
+        if unknown:
+            raise ValueError(f"unknown TPC-H tables: {sorted(unknown)}")
+        rng = make_rng(self.seed)
+        out: Dict[str, Relation] = {}
+
+        region = Relation("region", SCHEMAS["region"],
+                          [(i, name) for i, name in enumerate(REGIONS)])
+        nation = Relation("nation", SCHEMAS["nation"],
+                          [(i, name, i % len(REGIONS))
+                           for i, name in enumerate(NATIONS)])
+        if "region" in wanted:
+            out["region"] = region
+        if "nation" in wanted:
+            out["nation"] = nation
+
+        n_supplier = self.counts["supplier"]
+        n_customer = self.counts["customer"]
+        n_part = self.counts["part"]
+        n_orders = self.counts["orders"]
+        n_lineitem = self.counts["lineitem"]
+
+        if "supplier" in wanted:
+            out["supplier"] = Relation("supplier", SCHEMAS["supplier"], [
+                (i, f"Supplier#{i:09d}", rng.randrange(len(NATIONS)),
+                 round(rng.uniform(-999.99, 9999.99), 2))
+                for i in range(n_supplier)
+            ])
+        if "customer" in wanted:
+            out["customer"] = Relation("customer", SCHEMAS["customer"], [
+                (i, f"Customer#{i:09d}", rng.randrange(len(NATIONS)),
+                 rng.choice(SEGMENTS), round(rng.uniform(-999.99, 9999.99), 2))
+                for i in range(n_customer)
+            ])
+        if "part" in wanted:
+            out["part"] = Relation("part", SCHEMAS["part"], [
+                (i, f"Part#{i:09d}", rng.choice(BRANDS),
+                 round(900 + (i % 1000) * 0.1, 2))
+                for i in range(n_part)
+            ])
+        if "partsupp" in wanted:
+            rows = []
+            suppliers_per_part = max(1, self.counts["partsupp"] // n_part)
+            for partkey in range(n_part):
+                for k in range(suppliers_per_part):
+                    suppkey = (partkey + k * (n_part // suppliers_per_part + 1)) % n_supplier
+                    rows.append(
+                        (partkey, suppkey, rng.randrange(1, 10_000),
+                         round(rng.uniform(1.0, 1000.0), 2))
+                    )
+            out["partsupp"] = Relation("partsupp", SCHEMAS["partsupp"], rows)
+
+        custkey_gen = (
+            ZipfGenerator(n_customer, self.skew, seed=self.seed + 1)
+            if self.skew > 0 else None
+        )
+        if "orders" in wanted or "lineitem" in wanted:
+            orders_rows = []
+            for orderkey in range(n_orders):
+                custkey = (custkey_gen.draw() if custkey_gen
+                           else rng.randrange(n_customer))
+                orders_rows.append(
+                    (orderkey, custkey, rng.choice(STATUSES),
+                     round(rng.uniform(100.0, 400_000.0), 2), _date(rng),
+                     rng.choice(PRIORITIES), rng.randrange(2))
+                )
+            if "orders" in wanted:
+                out["orders"] = Relation("orders", SCHEMAS["orders"], orders_rows)
+
+        if "lineitem" in wanted:
+            partkey_gen = (
+                ZipfGenerator(n_part, self.skew, seed=self.seed + 2)
+                if self.skew > 0 else None
+            )
+            rows = []
+            for i in range(n_lineitem):
+                orderkey = rng.randrange(n_orders)
+                partkey = partkey_gen.draw() if partkey_gen else rng.randrange(n_part)
+                suppkey = rng.randrange(n_supplier)
+                quantity = rng.randrange(1, 51)
+                price = round(quantity * rng.uniform(900.0, 1100.0), 2)
+                rows.append(
+                    (orderkey, partkey, suppkey, quantity, price,
+                     round(rng.uniform(0.0, 0.1), 2), _date(rng), _date(rng),
+                     rng.choice(RETURN_FLAGS))
+                )
+            out["lineitem"] = Relation("lineitem", SCHEMAS["lineitem"], rows)
+        return out
+
+    def describe(self) -> str:
+        counts = ", ".join(f"{t}={n}" for t, n in sorted(self.counts.items()))
+        return f"TPC-H scale={self.scale} skew={self.skew} ({counts})"

@@ -1,0 +1,45 @@
+"""The online query engine built on the Storm substrate.
+
+Components (pipelines of co-located operators) are mapped to spouts and
+bolts; partitioning schemes become stream groupings; joins run one local
+join instance per task.  Both full-history (incremental view maintenance)
+and window semantics are supported -- windows are implemented by adding
+expiration logic on top of the full-history engine (paper section 2).
+"""
+
+from repro.engine.operators import (
+    AggregateSpec,
+    Aggregation,
+    Projection,
+    Selection,
+    avg,
+    count,
+    total,
+)
+from repro.engine.windows import WindowSpec
+from repro.engine.component import (
+    AggComponent,
+    JoinComponent,
+    PhysicalPlan,
+    SinkComponent,
+    SourceComponent,
+)
+from repro.engine.runner import RunResult, run_plan
+
+__all__ = [
+    "AggregateSpec",
+    "Aggregation",
+    "Projection",
+    "Selection",
+    "total",
+    "count",
+    "avg",
+    "WindowSpec",
+    "SourceComponent",
+    "JoinComponent",
+    "AggComponent",
+    "SinkComponent",
+    "PhysicalPlan",
+    "RunResult",
+    "run_plan",
+]

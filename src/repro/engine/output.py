@@ -1,0 +1,47 @@
+"""Output schemes: send only what is needed downstream (paper section 2).
+
+Each component decides its output scheme based on the fields/expressions
+used downstream in the query plan (common subexpression elimination).  For
+a join followed by an aggregation, only the group-by columns and the
+aggregated columns need to cross the network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.schema import Schema
+
+
+def compute_output_scheme(
+    output_schema: Schema, needed_names: Sequence[str]
+) -> Tuple[List[int], Schema]:
+    """Positions (and the projected schema) for the needed columns.
+
+    ``needed_names`` are resolved against the component's full output
+    schema; duplicates are collapsed, order of first use is preserved.
+    """
+    positions: List[int] = []
+    names: List[str] = []
+    for name in needed_names:
+        position = output_schema.index_of(name)
+        if position not in positions:
+            positions.append(position)
+            names.append(name)
+    projected = Schema(output_schema.fields[p] for p in positions)
+    return positions, projected
+
+
+def remap_positions(old_positions: Sequence[int],
+                    scheme_positions: Sequence[int]) -> List[int]:
+    """Rewrite positions that referred to the full output row so that they
+    refer to the projected (output-scheme) row instead."""
+    mapping = {full: idx for idx, full in enumerate(scheme_positions)}
+    remapped = []
+    for position in old_positions:
+        if position not in mapping:
+            raise ValueError(
+                f"position {position} was projected away by the output scheme"
+            )
+        remapped.append(mapping[position])
+    return remapped

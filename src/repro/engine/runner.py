@@ -1,0 +1,329 @@
+"""Compile physical plans to Storm topologies and execute them.
+
+Every physical component becomes one spout or bolt; partitioning schemes
+become stream groupings; joiner tasks own their local join state.  The
+returned :class:`RunResult` carries the results plus every counter the
+cost model and the paper's monitors need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.schema import Relation, Schema
+from repro.engine.component import (
+    AggComponent,
+    JoinComponent,
+    PhysicalPlan,
+    SourceComponent,
+)
+from repro.engine.operators import Aggregation, Projection, Selection
+from repro.engine.windows import WindowedAggregation, WindowedJoinState, WindowSpec
+from repro.joins.base import LocalJoin
+from repro.joins.hyld import LOCAL_JOINS, SCHEMES
+from repro.partitioning.base import Partitioner
+from repro.storm.cluster import LocalCluster
+from repro.storm.groupings import FieldsGrouping, HypercubeGrouping, KeyMappedGrouping
+from repro.storm.metrics import TopologyMetrics
+from repro.storm.topology import Bolt, Spout, TopologyBuilder
+from repro.util import round_robin_assignment
+
+RETRACT_SUFFIX = ":retract"
+
+
+class SourceSpout(Spout):
+    """Reads a stripe of a relation, applying co-located selection/projection."""
+
+    def __init__(self, component: SourceComponent):
+        self.component = component
+        self.rows = component.relation.rows
+        self._position = 0
+        self._step = 1
+        self.read = 0
+        self.selection: Optional[Selection] = None
+        self.projection: Optional[Projection] = None
+        if component.predicate is not None:
+            self.selection = Selection(
+                component.predicate, component.relation.schema,
+                cost_class=component.selection_cost_class,
+            )
+        if component.projection is not None:
+            self.projection = Projection(
+                component.projection, component.relation.schema,
+                names=component.projection_names,
+            )
+
+    def open(self, task_index: int, parallelism: int):
+        self._position = task_index
+        self._step = parallelism
+
+    def next_tuple(self):
+        while self._position < len(self.rows):
+            row = self.rows[self._position]
+            self._position += self._step
+            self.read += 1
+            if self.selection is not None and self.selection.apply(row) is None:
+                continue
+            if self.projection is not None:
+                row = self.projection.apply(row)
+            return (self.component.name, row)
+        return None
+
+
+class JoinBolt(Bolt):
+    """One joiner task: a local join (optionally windowed) plus output scheme."""
+
+    def __init__(self, component: JoinComponent,
+                 local_join_factory: Callable[[], LocalJoin]):
+        self.component = component
+        local = local_join_factory()
+        if component.window is not None:
+            self.state: Union[WindowedJoinState, LocalJoin] = WindowedJoinState(
+                local, component.window
+            )
+        else:
+            self.state = local
+        self._local = local
+        self.output_positions = (
+            list(component.output_positions)
+            if component.output_positions is not None else None
+        )
+        self.emitted_outputs = 0
+
+    def _project(self, row: tuple) -> tuple:
+        if self.output_positions is None:
+            return row
+        return tuple(row[p] for p in self.output_positions)
+
+    def execute(self, source: str, stream: str, values: tuple):
+        if stream.endswith(RETRACT_SUFFIX):
+            rel_name = stream[: -len(RETRACT_SUFFIX)]
+            retracted = self._local.delete(rel_name, values)
+            return [
+                (self.component.name + RETRACT_SUFFIX, self._project(row))
+                for row in retracted
+            ]
+        delta = self.state.insert(stream, values)
+        self.emitted_outputs += len(delta)
+        return [(self.component.name, self._project(row)) for row in delta]
+
+    @property
+    def work(self) -> int:
+        return self._local.work
+
+    def state_size(self) -> int:
+        return self._local.state_size()
+
+
+class AggBolt(Bolt):
+    """One aggregation task: incremental grouped sum/count/avg."""
+
+    def __init__(self, component: AggComponent):
+        self.component = component
+        factory = lambda: Aggregation(component.group_positions, component.aggregates)
+        self.window_state: Optional[WindowedAggregation] = None
+        if component.window is not None:
+            self.window_state = WindowedAggregation(factory, component.window)
+        self.aggregation = factory()
+
+    def execute(self, source: str, stream: str, values: tuple):
+        sign = -1 if stream.endswith(RETRACT_SUFFIX) else 1
+        if self.window_state is not None:
+            closed = self.window_state.consume(values)
+            if closed is None:
+                return []
+            window_id, rows = closed
+            return [(self.component.name, (window_id,) + row) for row in rows]
+        updated = self.aggregation.consume(values, sign)
+        if self.component.online:
+            return [(self.component.name, updated)]
+        return []
+
+    def finish(self):
+        if self.window_state is not None:
+            closed = self.window_state.flush()
+            if closed is None:
+                return []
+            window_id, rows = closed
+            return [(self.component.name, (window_id,) + row) for row in rows]
+        if self.component.online:
+            return []
+        return [(self.component.name, row) for row in self.aggregation.snapshot()]
+
+
+class SinkBolt(Bolt):
+    """Collects final rows into a shared list."""
+
+    def __init__(self, store: List[tuple]):
+        self.store = store
+
+    def execute(self, source: str, stream: str, values: tuple):
+        if stream.endswith(RETRACT_SUFFIX):
+            try:
+                self.store.remove(values)
+            except ValueError:
+                pass
+            return []
+        self.store.append(values)
+        return []
+
+
+@dataclass
+class RunResult:
+    """Results plus the measurement surface for the cost model."""
+
+    results: List[tuple]
+    metrics: TopologyMetrics
+    plan: PhysicalPlan
+    #: raw rows read per source (pre-selection)
+    reads: Dict[str, int]
+    #: selection statistics per source: (cost class, seen, passed)
+    selections: Dict[str, Tuple[str, int, int]]
+    #: per join component: per-task (received handled by metrics) work & state
+    join_work: Dict[str, List[int]] = field(default_factory=dict)
+    join_state: Dict[str, List[int]] = field(default_factory=dict)
+    partitioner_info: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def query_input(self) -> int:
+        return sum(self.reads.values())
+
+    @property
+    def query_output(self) -> int:
+        return len(self.results)
+
+    def intermediate_network_factor(self) -> float:
+        return self.metrics.intermediate_network_factor(
+            self.query_input, self.query_output
+        )
+
+    def skew_degree(self, component: str) -> float:
+        return self.metrics.skew_degree(component)
+
+    def replication_factor(self, component: str) -> float:
+        upstream = [
+            edge.source
+            for edge in self._topology.in_edges(component)  # type: ignore[attr-defined]
+        ]
+        return self.metrics.replication_factor(component, upstream)
+
+
+def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None) -> RunResult:
+    """Compile a physical plan to a topology and execute it locally."""
+    plan.validate()
+    builder = TopologyBuilder()
+    spouts: Dict[str, List[SourceSpout]] = {}
+
+    for source in plan.sources:
+        instances: List[SourceSpout] = []
+
+        def factory(task_index: int, parallelism: int, source=source,
+                    instances=instances) -> SourceSpout:
+            spout = SourceSpout(source)
+            instances.append(spout)
+            return spout
+
+        builder.set_spout(source.name, factory, source.parallelism)
+        spouts[source.name] = instances
+
+    partitioners: Dict[str, Partitioner] = {}
+    join_bolts: Dict[str, List[JoinBolt]] = {}
+    for join in plan.joins:
+        if isinstance(join.scheme, str):
+            partitioner = SCHEMES[join.scheme].build(
+                join.spec, join.machines, seed=join.seed
+            )
+        else:
+            partitioner = join.scheme
+        partitioners[join.name] = partitioner
+        local_factory = LOCAL_JOINS[join.local_join]
+        bolts: List[JoinBolt] = []
+
+        def bolt_factory(task_index: int, parallelism: int, join=join,
+                         local_factory=local_factory, bolts=bolts) -> JoinBolt:
+            bolt = JoinBolt(join, lambda: local_factory(join.spec))
+            bolts.append(bolt)
+            return bolt
+
+        declarer = builder.set_bolt(join.name, bolt_factory, partitioner.n_machines)
+        for rel_name in join.spec.relation_names:
+            declarer.custom_grouping(
+                rel_name,
+                HypercubeGrouping(partitioner, rel_name),
+                streams=[rel_name, rel_name + RETRACT_SUFFIX],
+            )
+        join_bolts[join.name] = bolts
+
+    upstream_of_agg = plan.joins[-1].name if plan.joins else plan.sources[-1].name
+    if plan.aggregation is not None:
+        agg = plan.aggregation
+
+        def agg_factory(task_index: int, parallelism: int, agg=agg) -> AggBolt:
+            return AggBolt(agg)
+
+        declarer = builder.set_bolt(agg.name, agg_factory, agg.parallelism)
+        streams = [upstream_of_agg, upstream_of_agg + RETRACT_SUFFIX]
+        if agg.key_domain is not None and len(agg.group_positions) == 1:
+            mapping = round_robin_assignment(agg.key_domain, agg.parallelism)
+            declarer.custom_grouping(
+                upstream_of_agg,
+                KeyMappedGrouping(agg.group_positions[0], mapping),
+                streams=streams,
+            )
+        elif agg.group_positions:
+            declarer.custom_grouping(
+                upstream_of_agg,
+                FieldsGrouping(agg.group_positions),
+                streams=streams,
+            )
+        else:
+            declarer.global_grouping(upstream_of_agg, streams=streams)
+
+    results: List[tuple] = []
+    last = plan.last_data_component()
+
+    def sink_factory(task_index: int, parallelism: int) -> SinkBolt:
+        return SinkBolt(results)
+
+    builder.set_bolt(plan.sink.name, sink_factory, 1).global_grouping(
+        last, streams=[last, last + RETRACT_SUFFIX]
+    )
+
+    topology = builder.build()
+    cluster = LocalCluster(topology)
+    metrics = cluster.run(max_tuples=max_tuples)
+
+    reads = {
+        name: sum(spout.read for spout in instances)
+        for name, instances in spouts.items()
+    }
+    selections = {}
+    for name, instances in spouts.items():
+        with_selection = [s for s in instances if s.selection is not None]
+        if with_selection:
+            seen = sum(s.selection.seen for s in with_selection)
+            passed = sum(s.selection.passed for s in with_selection)
+            selections[name] = (with_selection[0].selection.cost_class, seen, passed)
+
+    result = RunResult(
+        results=results,
+        metrics=metrics,
+        plan=plan,
+        reads=reads,
+        selections=selections,
+        join_work={
+            name: [bolt.work for bolt in bolts]
+            for name, bolts in join_bolts.items()
+        },
+        join_state={
+            name: [bolt.state_size() for bolt in bolts]
+            for name, bolts in join_bolts.items()
+        },
+        partitioner_info={
+            name: partitioner.describe()
+            for name, partitioner in partitioners.items()
+        },
+    )
+    result._topology = topology  # for replication_factor lookups
+    return result

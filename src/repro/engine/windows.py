@@ -1,0 +1,138 @@
+"""Window semantics on top of the full-history engine (paper section 2).
+
+Squall implements tumbling and sliding windows by adding expiration logic
+over its full-history operators.  Timestamps are either explicit (a column
+of each input relation) or implicit (global arrival order).
+
+- **Tumbling** windows of size ``size`` partition time into fixed ranges
+  ``[k*size, (k+1)*size)``; on crossing a boundary the operator state is
+  reset.
+- **Sliding** windows keep the last ``size`` time units: on every arrival,
+  stored tuples older than ``ts - size`` are retracted via the local
+  join's ``delete`` (DBToaster views handle this as a negative delta).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.joins.base import LocalJoin
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Window definition shared by join and aggregation operators."""
+
+    kind: str  # 'tumbling' | 'sliding'
+    size: int
+    #: per-relation timestamp column position; None = arrival order
+    ts_positions: Optional[Dict[str, int]] = None
+
+    def __post_init__(self):
+        if self.kind not in ("tumbling", "sliding"):
+            raise ValueError(f"unknown window kind {self.kind!r}")
+        if self.size <= 0:
+            raise ValueError("window size must be positive")
+
+    @classmethod
+    def tumbling(cls, size: int, ts_positions: Optional[Dict[str, int]] = None):
+        return cls("tumbling", size, ts_positions)
+
+    @classmethod
+    def sliding(cls, size: int, ts_positions: Optional[Dict[str, int]] = None):
+        return cls("sliding", size, ts_positions)
+
+    def timestamp(self, rel_name: str, row: tuple, arrival_index: int):
+        if self.ts_positions is None:
+            return arrival_index
+        return row[self.ts_positions[rel_name]]
+
+
+class WindowedJoinState:
+    """Wraps a :class:`LocalJoin` with window expiration logic."""
+
+    def __init__(self, local_join: LocalJoin, window: WindowSpec):
+        self.local = local_join
+        self.window = window
+        self._arrivals = 0
+        self._stored: Deque[Tuple[object, str, tuple]] = deque()
+        self._current_window: Optional[int] = None
+        self.expired_tuples = 0
+
+    def insert(self, rel_name: str, row: tuple) -> List[tuple]:
+        ts = self.window.timestamp(rel_name, row, self._arrivals)
+        self._arrivals += 1
+        self._expire(ts)
+        delta = self.local.insert(rel_name, row)
+        self._stored.append((ts, rel_name, row))
+        return delta
+
+    def _expire(self, now):
+        if self.window.kind == "tumbling":
+            window_id = now // self.window.size
+            if self._current_window is None:
+                self._current_window = window_id
+            elif window_id != self._current_window:
+                self.expired_tuples += len(self._stored)
+                self._stored.clear()
+                self.local.reset()
+                self._current_window = window_id
+            return
+        # sliding: retract everything strictly older than now - size
+        horizon = now - self.window.size
+        while self._stored and self._stored[0][0] <= horizon:
+            _ts, rel_name, row = self._stored.popleft()
+            self.local.delete(rel_name, row)
+            self.expired_tuples += 1
+
+    def state_size(self) -> int:
+        return self.local.state_size()
+
+    @property
+    def work(self) -> int:
+        return self.local.work
+
+
+class WindowedAggregation:
+    """Per-window grouped aggregation; emits a window's rows when it closes."""
+
+    def __init__(self, aggregation_factory, window: WindowSpec):
+        if window.kind != "tumbling":
+            raise ValueError(
+                "windowed aggregation supports tumbling windows; sliding "
+                "aggregates are expressed as join-side retractions"
+            )
+        self._factory = aggregation_factory
+        self.window = window
+        self._arrivals = 0
+        self._current_window: Optional[int] = None
+        self._aggregation = aggregation_factory()
+        self.closed_windows: List[Tuple[int, List[tuple]]] = []
+
+    def consume(self, row: tuple, rel_name: str = "") -> Optional[Tuple[int, List[tuple]]]:
+        """Feed one row; returns (window id, rows) when a window closes."""
+        ts = self.window.timestamp(rel_name, row, self._arrivals)
+        self._arrivals += 1
+        window_id = ts // self.window.size
+        closed = None
+        if self._current_window is None:
+            self._current_window = window_id
+        elif window_id != self._current_window:
+            closed = (self._current_window, self._aggregation.snapshot())
+            self.closed_windows.append(closed)
+            self._aggregation = self._factory()
+            self._current_window = window_id
+        self._aggregation.consume(row)
+        return closed
+
+    def flush(self) -> Optional[Tuple[int, List[tuple]]]:
+        """Close the final window at end of stream."""
+        if self._current_window is None:
+            return None
+        closed = (self._current_window, self._aggregation.snapshot())
+        self.closed_windows.append(closed)
+        self._aggregation = self._factory()
+        self._current_window = None
+        return closed

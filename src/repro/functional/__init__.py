@@ -1,0 +1,10 @@
+"""Functional interface: compositions of data transformations over streams.
+
+Mirrors Squall's Scala-collections-style API (paper section 2): streams are
+filtered, joined and aggregated through method chaining, building the same
+logical plans as the SQL interface.
+"""
+
+from repro.functional.stream_api import QueryContext, Stream
+
+__all__ = ["QueryContext", "Stream"]

@@ -1,0 +1,267 @@
+"""DBToaster-style higher-order incremental view maintenance join.
+
+For an n-way join, DBToaster materialises and maintains *every* connected
+intermediate join -- all 2-way, 3-way, ..., (n-1)-way views -- so that a
+new tuple of relation ``R`` produces its output delta with a single probe
+into the materialised join of the remaining relations, instead of
+recomputing that (n-1)-way join from base-relation indexes (paper section
+3.3).  The savings grow with the number of relations.
+
+Views are multisets (tuple -> multiplicity), which makes deletions -- and
+therefore sliding-window expiration -- a symmetric negative delta.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.predicates import JoinCondition, JoinSpec
+from repro.joins.base import JoinSchema, LocalJoin
+from repro.joins.indexes import HashIndex
+
+
+def connected_subsets(names: Sequence[str], adjacency: Dict[str, set]) -> List[FrozenSet[str]]:
+    """All connected subsets of the join graph (any size >= 1)."""
+    subsets = []
+    for size in range(1, len(names) + 1):
+        for combo in itertools.combinations(names, size):
+            if _is_connected(set(combo), adjacency):
+                subsets.append(frozenset(combo))
+    return subsets
+
+
+def _is_connected(nodes: set, adjacency: Dict[str, set]) -> bool:
+    if not nodes:
+        return False
+    start = next(iter(nodes))
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for neighbor in adjacency[node] & nodes:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return seen == nodes
+
+
+def _components(nodes: set, adjacency: Dict[str, set]) -> List[FrozenSet[str]]:
+    remaining = set(nodes)
+    components = []
+    while remaining:
+        start = next(iter(remaining))
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency[node] & remaining:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        components.append(frozenset(seen))
+        remaining -= seen
+    return sorted(components, key=sorted)
+
+
+class _View:
+    """A materialised intermediate join over a subset of relations."""
+
+    def __init__(self, spec: JoinSpec, subset: FrozenSet[str]):
+        self.subset = subset
+        members = [(info.name, info.schema) for info in spec.relations
+                   if info.name in subset]
+        self.layout = JoinSchema(members)
+        self.rows: Dict[tuple, int] = {}
+        self.total = 0
+        # probe indexes keyed by the flat positions they index
+        self.indexes: Dict[Tuple[int, ...], HashIndex] = {}
+
+    def ensure_index(self, flat_positions: Tuple[int, ...]) -> HashIndex:
+        index = self.indexes.get(flat_positions)
+        if index is None:
+            index = HashIndex()
+            self.indexes[flat_positions] = index
+            for row, count in self.rows.items():
+                key = tuple(row[p] for p in flat_positions)
+                for _copy in range(count):
+                    index.insert(key, row)
+        return index
+
+    def apply(self, flat_row: tuple, multiplicity: int):
+        new_count = self.rows.get(flat_row, 0) + multiplicity
+        if new_count < 0:
+            raise ValueError("view multiplicity went negative (inconsistent deletes)")
+        if new_count == 0:
+            self.rows.pop(flat_row, None)
+        else:
+            self.rows[flat_row] = new_count
+        self.total += multiplicity
+        for flat_positions, index in self.indexes.items():
+            key = tuple(flat_row[p] for p in flat_positions)
+            if multiplicity > 0:
+                for _copy in range(multiplicity):
+                    index.insert(key, flat_row)
+            else:
+                for _copy in range(-multiplicity):
+                    index.delete(key, flat_row)
+
+    def state_size(self) -> int:
+        return self.total
+
+    def clear(self):
+        self.rows.clear()
+        self.total = 0
+        for index in self.indexes.values():
+            index.__init__()
+
+
+class _ProbePlan:
+    """How a new tuple of one relation probes one component view."""
+
+    def __init__(self, spec: JoinSpec, prober: str, view: _View):
+        self.view = view
+        prober_schema = spec.by_name[prober].schema
+        equi_key_prober: List[int] = []
+        equi_key_flat: List[int] = []
+        self.filters: List[Tuple[JoinCondition, int, int]] = []
+        for cond in spec.conditions:
+            if cond.left[0] == prober and cond.right[0] in view.subset:
+                oriented = cond
+            elif cond.right[0] == prober and cond.left[0] in view.subset:
+                oriented = cond.flipped()
+            else:
+                continue
+            prober_pos = prober_schema.index_of(oriented.left[1])
+            flat_pos = view.layout.position(oriented.right[0], oriented.right[1])
+            if oriented.is_equi:
+                equi_key_prober.append(prober_pos)
+                equi_key_flat.append(flat_pos)
+            else:
+                self.filters.append((oriented, prober_pos, flat_pos))
+        # deterministic composite key order
+        paired = sorted(zip(equi_key_flat, equi_key_prober))
+        self.key_flat = tuple(flat for flat, _p in paired)
+        self.key_prober = tuple(p for _flat, p in paired)
+        if self.key_flat:
+            view.ensure_index(self.key_flat)
+
+    def candidates(self, row: tuple) -> Iterable[Tuple[tuple, int]]:
+        if self.key_flat:
+            key = tuple(row[p] for p in self.key_prober)
+            yield from self.view.indexes[self.key_flat].lookup(key)
+        else:
+            yield from self.view.rows.items()
+
+    def matches(self, row: tuple, candidate: tuple) -> bool:
+        for cond, prober_pos, flat_pos in self.filters:
+            if not cond.evaluate(row[prober_pos], candidate[flat_pos]):
+                return False
+        return True
+
+
+class DBToasterJoin(LocalJoin):
+    """Higher-order IVM n-way join with materialised intermediate views."""
+
+    def __init__(self, spec: JoinSpec, store_result: bool = False):
+        super().__init__(spec)
+        self.work = 0
+        self.intermediate_tuples = 0
+        self.store_result = store_result
+        names = spec.relation_names
+        adjacency = spec.adjacency()
+        self._full = frozenset(names)
+        subsets = connected_subsets(names, adjacency)
+        self.views: Dict[FrozenSet[str], _View] = {}
+        for subset in subsets:
+            if len(subset) == len(names) and not store_result:
+                continue
+            self.views[subset] = _View(spec, subset)
+        if store_result and self._full not in self.views:
+            self.views[self._full] = _View(spec, self._full)
+        # the update targets of a tuple from relation i: every maintained
+        # view whose subset contains i, in increasing size order
+        self._targets: Dict[str, List[FrozenSet[str]]] = {
+            name: sorted(
+                (s for s in self.views if name in s),
+                key=lambda s: (len(s), sorted(s)),
+            )
+            for name in names
+        }
+        # probe plans: (target subset, prober) -> ordered component plans
+        self._plans: Dict[Tuple[FrozenSet[str], str], List[_ProbePlan]] = {}
+        for name in names:
+            for subset in list(self._targets[name]) + [self._full]:
+                rest = set(subset) - {name}
+                plans = []
+                for component in _components(rest, adjacency):
+                    # components of (subset - {name}) are connected subsets
+                    # of size <= n-1, so their views are always maintained
+                    plans.append(_ProbePlan(spec, name, self.views[component]))
+                self._plans[(subset, name)] = plans
+
+    # -- delta computation ---------------------------------------------------
+
+    def _delta(self, rel_name: str, row: tuple, subset: FrozenSet[str]) -> List[Tuple[Dict[str, tuple], int]]:
+        """row >< view(subset \\ {rel_name}), component by component."""
+        partials: List[Tuple[Dict[str, tuple], int]] = [({rel_name: row}, 1)]
+        for plan in self._plans[(subset, rel_name)]:
+            if not partials:
+                break
+            extended = []
+            self.work += 1  # one probe per component view
+            for bound_rows, multiplicity in partials:
+                for candidate, count in plan.candidates(row):
+                    self.work += 1  # candidate examined
+                    if plan.matches(row, candidate):
+                        merged = dict(bound_rows)
+                        for member in plan.view.subset:
+                            merged[member] = plan.view.layout.slice_of(candidate, member)
+                        extended.append((merged, multiplicity * count))
+            partials = extended
+        return partials
+
+    def _process(self, rel_name: str, row: tuple, sign: int) -> List[tuple]:
+        row = tuple(row)
+        # 1. compute every delta against the *old* views (none of the views
+        #    read below contains rel_name, so order is immaterial)
+        deltas: List[Tuple[FrozenSet[str], List[Tuple[Dict[str, tuple], int]]]] = []
+        for subset in self._targets[rel_name]:
+            deltas.append((subset, self._delta(rel_name, row, subset)))
+        output_partials = (
+            deltas[-1][1] if self.store_result and deltas and deltas[-1][0] == self._full
+            else self._delta(rel_name, row, self._full)
+        )
+        # 2. apply deltas to the maintained views
+        for subset, partials in deltas:
+            view = self.views[subset]
+            for bound_rows, multiplicity in partials:
+                flat = view.layout.flatten(bound_rows)
+                view.apply(flat, sign * multiplicity)
+                if len(subset) < len(self._full):
+                    self.intermediate_tuples += multiplicity
+        # 3. emit the final delta
+        output = []
+        for bound_rows, multiplicity in output_partials:
+            flat = self.join_schema.flatten(bound_rows)
+            output.extend([flat] * multiplicity)
+        return output
+
+    # -- public interface ------------------------------------------------------
+
+    def insert(self, rel_name: str, row: tuple) -> List[tuple]:
+        return self._process(rel_name, row, +1)
+
+    def delete(self, rel_name: str, row: tuple) -> List[tuple]:
+        return self._process(rel_name, row, -1)
+
+    def view_size(self, *names: str) -> int:
+        """Multiplicity-weighted size of one maintained view (test hook)."""
+        return self.views[frozenset(names)].total
+
+    def state_size(self) -> int:
+        return sum(view.total for view in self.views.values())
+
+    def reset(self):
+        for view in self.views.values():
+            view.clear()

@@ -1,0 +1,243 @@
+"""On-the-fly indexes used by the local join algorithms.
+
+Equi-join attributes get hash indexes; band and inequality attributes get
+ordered indexes (the paper's "balanced binary tree indexes").  Two ordered
+implementations are provided: a treap (randomised balanced BST, O(log n)
+expected inserts) and a sorted-array index (bisect-based); they are
+interchangeable and property-tested against each other.
+
+All indexes support multiplicities so that deletions (window expiration,
+sliding-window retractions) work naturally.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.util import make_rng
+
+
+class HashIndex:
+    """Multimap from key to rows with multiplicities."""
+
+    def __init__(self):
+        self._buckets: Dict[object, Dict[tuple, int]] = {}
+        self.size = 0
+
+    def insert(self, key, row: tuple):
+        bucket = self._buckets.setdefault(key, {})
+        bucket[row] = bucket.get(row, 0) + 1
+        self.size += 1
+
+    def delete(self, key, row: tuple) -> bool:
+        """Remove one occurrence; returns False when absent."""
+        bucket = self._buckets.get(key)
+        if not bucket or row not in bucket:
+            return False
+        bucket[row] -= 1
+        if bucket[row] == 0:
+            del bucket[row]
+            if not bucket:
+                del self._buckets[key]
+        self.size -= 1
+        return True
+
+    def lookup(self, key) -> Iterator[Tuple[tuple, int]]:
+        """(row, multiplicity) pairs stored under ``key``."""
+        bucket = self._buckets.get(key)
+        if bucket:
+            yield from bucket.items()
+
+    def keys(self):
+        return self._buckets.keys()
+
+    def __len__(self):
+        return self.size
+
+
+class SortedIndex:
+    """Ordered index over (key, row) with bisect-backed storage.
+
+    Insertion is O(n) worst case but with a C-level memmove; for the
+    per-task state sizes the engine produces this is consistently faster
+    in CPython than pointer-chasing tree nodes.  The :class:`Treap` below
+    offers the textbook O(log n) alternative with the same interface.
+    """
+
+    def __init__(self):
+        self._keys: List = []
+        self._rows: List[tuple] = []
+
+    @property
+    def size(self) -> int:
+        return len(self._keys)
+
+    def insert(self, key, row: tuple):
+        position = bisect.bisect_right(self._keys, key)
+        self._keys.insert(position, key)
+        self._rows.insert(position, row)
+
+    def delete(self, key, row: tuple) -> bool:
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        for position in range(lo, hi):
+            if self._rows[position] == row:
+                del self._keys[position]
+                del self._rows[position]
+                return True
+        return False
+
+    def range(self, low=None, high=None, include_low: bool = True,
+              include_high: bool = True) -> Iterator[tuple]:
+        """Rows with key in the given (optionally open) interval."""
+        if low is None:
+            lo = 0
+        elif include_low:
+            lo = bisect.bisect_left(self._keys, low)
+        else:
+            lo = bisect.bisect_right(self._keys, low)
+        if high is None:
+            hi = len(self._keys)
+        elif include_high:
+            hi = bisect.bisect_right(self._keys, high)
+        else:
+            hi = bisect.bisect_left(self._keys, high)
+        for position in range(lo, hi):
+            yield self._rows[position]
+
+    def __len__(self):
+        return len(self._keys)
+
+
+class _TreapNode:
+    __slots__ = ("key", "rows", "priority", "left", "right")
+
+    def __init__(self, key, priority: float):
+        self.key = key
+        self.rows: Dict[tuple, int] = {}
+        self.priority = priority
+        self.left: Optional["_TreapNode"] = None
+        self.right: Optional["_TreapNode"] = None
+
+
+class Treap:
+    """Randomised balanced BST (treap) with the same range interface.
+
+    Provided as the faithful 'balanced binary tree index' of the paper;
+    property tests check it against :class:`SortedIndex`.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._root: Optional[_TreapNode] = None
+        self._rng = make_rng(seed)
+        self.size = 0
+
+    def insert(self, key, row: tuple):
+        self._root = self._insert(self._root, key, row)
+        self.size += 1
+
+    def _insert(self, node, key, row):
+        if node is None:
+            created = _TreapNode(key, self._rng.random())
+            created.rows[row] = 1
+            return created
+        if key == node.key:
+            node.rows[row] = node.rows.get(row, 0) + 1
+            return node
+        if key < node.key:
+            node.left = self._insert(node.left, key, row)
+            if node.left.priority > node.priority:
+                node = self._rotate_right(node)
+        else:
+            node.right = self._insert(node.right, key, row)
+            if node.right.priority > node.priority:
+                node = self._rotate_left(node)
+        return node
+
+    @staticmethod
+    def _rotate_right(node):
+        pivot = node.left
+        node.left = pivot.right
+        pivot.right = node
+        return pivot
+
+    @staticmethod
+    def _rotate_left(node):
+        pivot = node.right
+        node.right = pivot.left
+        pivot.left = node
+        return pivot
+
+    def delete(self, key, row: tuple) -> bool:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                if row not in node.rows:
+                    return False
+                node.rows[row] -= 1
+                if node.rows[row] == 0:
+                    del node.rows[row]
+                    if not node.rows:
+                        self._root = self._remove_node(self._root, key)
+                self.size -= 1
+                return True
+            node = node.left if key < node.key else node.right
+        return False
+
+    def _remove_node(self, node, key):
+        if node is None:
+            return None
+        if key < node.key:
+            node.left = self._remove_node(node.left, key)
+            return node
+        if key > node.key:
+            node.right = self._remove_node(node.right, key)
+            return node
+        # rotate the empty node down until it is a leaf
+        if node.left is None:
+            return node.right
+        if node.right is None:
+            return node.left
+        if node.left.priority > node.right.priority:
+            node = self._rotate_right(node)
+            node.right = self._remove_node(node.right, key)
+        else:
+            node = self._rotate_left(node)
+            node.left = self._remove_node(node.left, key)
+        return node
+
+    def range(self, low=None, high=None, include_low: bool = True,
+              include_high: bool = True) -> Iterator[tuple]:
+        """Rows with key in the given (optionally open) interval, in order."""
+        out: List[tuple] = []
+
+        def below_low(key) -> bool:
+            if low is None:
+                return False
+            return key < low or (key == low and not include_low)
+
+        def above_high(key) -> bool:
+            if high is None:
+                return False
+            return key > high or (key == high and not include_high)
+
+        def visit(node):
+            if node is None:
+                return
+            if below_low(node.key):
+                visit(node.right)  # the whole left subtree is below too
+                return
+            if above_high(node.key):
+                visit(node.left)  # the whole right subtree is above too
+                return
+            visit(node.left)
+            for row, count in node.rows.items():
+                out.extend([row] * count)
+            visit(node.right)
+
+        visit(self._root)
+        return iter(out)
+
+    def __len__(self):
+        return self.size

@@ -1,0 +1,245 @@
+"""Traditional index-based online multi-way join.
+
+A new incoming tuple is joined with the stored tuples of the other
+relations and then stored for future tuples.  Hash indexes are built on
+the fly for equi-join attributes and ordered indexes for band/inequality
+attributes (paper section 3.3).  Crucially, the (n-1)-way join against the
+other relations is *recomputed for every tuple* by cascading index probes
+-- the inefficiency that DBToaster's materialised intermediate views avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.predicates import (
+    BandCondition,
+    EquiCondition,
+    JoinCondition,
+    JoinSpec,
+    ThetaCondition,
+)
+from repro.joins.base import JoinSchema, LocalJoin
+from repro.joins.indexes import HashIndex, SortedIndex
+
+
+class _RelationStore:
+    """Stored tuples of one relation plus its on-the-fly indexes."""
+
+    def __init__(self, hash_attrs: Iterable[str], sorted_attrs: Iterable[str], schema):
+        self.schema = schema
+        self.rows: Dict[tuple, int] = {}
+        self.count = 0
+        self.hash_indexes = {attr: HashIndex() for attr in hash_attrs}
+        self.sorted_indexes = {attr: SortedIndex() for attr in sorted_attrs}
+
+    def insert(self, row: tuple):
+        self.rows[row] = self.rows.get(row, 0) + 1
+        self.count += 1
+        for attr, index in self.hash_indexes.items():
+            index.insert(row[self.schema.index_of(attr)], row)
+        for attr, index in self.sorted_indexes.items():
+            index.insert(row[self.schema.index_of(attr)], row)
+
+    def delete(self, row: tuple) -> bool:
+        if row not in self.rows:
+            return False
+        self.rows[row] -= 1
+        if self.rows[row] == 0:
+            del self.rows[row]
+        self.count -= 1
+        for attr, index in self.hash_indexes.items():
+            index.delete(row[self.schema.index_of(attr)], row)
+        for attr, index in self.sorted_indexes.items():
+            index.delete(row[self.schema.index_of(attr)], row)
+        return True
+
+    def state_size(self) -> int:
+        return self.count
+
+
+class TraditionalJoin(LocalJoin):
+    """Symmetric index-nested-loop online n-way join."""
+
+    def __init__(self, spec: JoinSpec):
+        super().__init__(spec)
+        self.work = 0
+        self.intermediate_tuples = 0
+        hash_attrs: Dict[str, set] = {info.name: set() for info in spec.relations}
+        sorted_attrs: Dict[str, set] = {info.name: set() for info in spec.relations}
+        for cond in spec.conditions:
+            for rel, attr in (cond.left, cond.right):
+                if cond.is_equi:
+                    hash_attrs[rel].add(attr)
+                else:
+                    sorted_attrs[rel].add(attr)
+        self.stores = {
+            info.name: _RelationStore(hash_attrs[info.name],
+                                      sorted_attrs[info.name], info.schema)
+            for info in spec.relations
+        }
+        self._probe_orders: Dict[str, List[Tuple[str, List[JoinCondition]]]] = {}
+
+    # -- probe planning ----------------------------------------------------
+
+    def _probe_order(self, start: str) -> List[Tuple[str, List[JoinCondition]]]:
+        """BFS over the join graph from ``start``: the order in which the
+        other relations are probed, with the conditions that bind each."""
+        if start in self._probe_orders:
+            return self._probe_orders[start]
+        adjacency = self.spec.adjacency()
+        bound = {start}
+        order: List[Tuple[str, List[JoinCondition]]] = []
+        frontier = [start]
+        while frontier:
+            nxt = []
+            for rel in frontier:
+                for neighbor in sorted(adjacency[rel]):
+                    if neighbor in bound:
+                        continue
+                    conds = [
+                        cond for cond in self.spec.conditions
+                        if neighbor in (cond.left[0], cond.right[0])
+                        and (cond.left[0] in bound or cond.right[0] in bound)
+                    ]
+                    # orient conditions so that .right is the new relation
+                    oriented = [
+                        cond if cond.right[0] == neighbor else cond.flipped()
+                        for cond in conds
+                    ]
+                    order.append((neighbor, oriented))
+                    bound.add(neighbor)
+                    nxt.append(neighbor)
+            frontier = nxt
+        remaining = [info.name for info in self.spec.relations if info.name not in bound]
+        for rel in remaining:  # disconnected pieces: Cartesian extension
+            order.append((rel, []))
+        self._probe_orders[start] = order
+        return order
+
+    # -- candidate generation -----------------------------------------------
+
+    def _candidates(self, rel_name: str, conds: Sequence[JoinCondition],
+                    bound_rows: Dict[str, tuple]):
+        """(row, multiplicity) candidates of ``rel_name`` matching the bound rows.
+
+        Access-path choice: probe a hash index for an equi condition when
+        one exists; otherwise use an ordered-index range for a single
+        band/inequality condition; otherwise scan.  Remaining conditions
+        are filtered by the caller.
+        """
+        store = self.stores[rel_name]
+        for cond in conds:
+            if cond.is_equi:
+                bound_rel, bound_attr = cond.left
+                value = bound_rows[bound_rel][
+                    self.stores[bound_rel].schema.index_of(bound_attr)
+                ]
+                self.work += 1  # one index probe
+                yield from store.hash_indexes[cond.right[1]].lookup(value)
+                return
+        if len(conds) == 1:
+            cond = conds[0]
+            bound_rel, bound_attr = cond.left
+            value = bound_rows[bound_rel][
+                self.stores[bound_rel].schema.index_of(bound_attr)
+            ]
+            index = store.sorted_indexes.get(cond.right[1])
+            if index is not None:
+                bounds = _range_for(cond, value)
+                if bounds is not None:
+                    low, high, include_low, include_high = bounds
+                    self.work += 1
+                    for row in index.range(low, high, include_low, include_high):
+                        yield row, 1
+                    return
+        # fallback: scan everything
+        self.work += 1
+        yield from store.rows.items()
+
+    def _check(self, rel_name: str, row: tuple, conds: Sequence[JoinCondition],
+               bound_rows: Dict[str, tuple]) -> bool:
+        schema = self.stores[rel_name].schema
+        for cond in conds:
+            bound_rel, bound_attr = cond.left
+            left_value = bound_rows[bound_rel][
+                self.stores[bound_rel].schema.index_of(bound_attr)
+            ]
+            right_value = row[schema.index_of(cond.right[1])]
+            if not cond.evaluate(left_value, right_value):
+                return False
+        return True
+
+    def _delta(self, rel_name: str, row: tuple) -> List[tuple]:
+        """Recompute the (n-1)-way join for one new/removed tuple."""
+        partials: List[Tuple[Dict[str, tuple], int]] = [({rel_name: row}, 1)]
+        order = self._probe_order(rel_name)
+        for step_index, (next_rel, conds) in enumerate(order):
+            extended: List[Tuple[Dict[str, tuple], int]] = []
+            for bound_rows, multiplicity in partials:
+                for candidate, count in self._candidates(next_rel, conds, bound_rows):
+                    self.work += 1  # candidate examined
+                    if self._check(next_rel, candidate, conds, bound_rows):
+                        merged = dict(bound_rows)
+                        merged[next_rel] = candidate
+                        extended.append((merged, multiplicity * count))
+            partials = extended
+            if step_index < len(order) - 1:
+                # every partial match is an intermediate tuple that the
+                # traditional join constructs and may later throw away
+                self.intermediate_tuples += len(partials)
+                self.work += len(partials)
+            if not partials:
+                return []
+        output = []
+        for bound_rows, multiplicity in partials:
+            flat = self.join_schema.flatten(bound_rows)
+            output.extend([flat] * multiplicity)
+        return output
+
+    # -- public interface ----------------------------------------------------
+
+    def insert(self, rel_name: str, row: tuple) -> List[tuple]:
+        row = tuple(row)
+        delta = self._delta(rel_name, row)
+        self.stores[rel_name].insert(row)
+        return delta
+
+    def delete(self, rel_name: str, row: tuple) -> List[tuple]:
+        row = tuple(row)
+        if not self.stores[rel_name].delete(row):
+            return []
+        return self._delta(rel_name, row)
+
+    def state_size(self) -> int:
+        return sum(store.state_size() for store in self.stores.values())
+
+    def reset(self):
+        for info in self.spec.relations:
+            store = self.stores[info.name]
+            store.rows.clear()
+            store.count = 0
+            for index in store.hash_indexes.values():
+                index.__init__()
+            for index in store.sorted_indexes.values():
+                index.__init__()
+
+
+def _range_for(cond: JoinCondition, bound_value) -> Optional[tuple]:
+    """Ordered-index range (low, high, include_low, include_high) for the
+    *right* side of an oriented condition given the bound left value."""
+    if isinstance(cond, BandCondition):
+        return (bound_value - cond.width, bound_value + cond.width, True, True)
+    if isinstance(cond, ThetaCondition):
+        if cond.right_scale <= 0:
+            return None
+        threshold = cond.left_scale * bound_value / cond.right_scale
+        if cond.op == "<":
+            return (threshold, None, False, True)
+        if cond.op == "<=":
+            return (threshold, None, True, True)
+        if cond.op == ">":
+            return (None, threshold, True, False)
+        if cond.op == ">=":
+            return (None, threshold, True, True)
+    return None

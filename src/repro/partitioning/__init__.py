@@ -1,0 +1,52 @@
+"""Partitioning schemes: the paper's core contribution.
+
+Multi-way (single communication step) schemes:
+
+- :class:`~repro.partitioning.hash_hypercube.HashHypercube` -- hash
+  partitioning generalised to multi-way equi-joins (Afrati-Ullman shares).
+- :class:`~repro.partitioning.random_hypercube.RandomHypercube` -- random
+  partitioning generalised from the 1-Bucket scheme (Zhang et al.).
+- :class:`~repro.partitioning.hybrid_hypercube.HybridHypercube` -- the
+  paper's novel scheme: hash partitioning on skew-free join keys, random
+  partitioning (with attribute renaming) on skewed ones.  Subsumes both
+  schemes above and supports non-equi joins.
+
+Two-way schemes (used by pipelines of 2-way joins):
+
+- :class:`~repro.partitioning.two_way.HashTwoWay`,
+  :class:`~repro.partitioning.two_way.OneBucket`,
+  :class:`~repro.partitioning.two_way.MBucket`,
+  :class:`~repro.partitioning.ewh.EWHScheme`, and the online
+  :class:`~repro.partitioning.adaptive.AdaptiveOneBucket`.
+"""
+
+from repro.partitioning.base import Partitioner, UnsupportedJoinError
+from repro.partitioning.hypercube import (
+    DimensionSpec,
+    HypercubeConfig,
+    HypercubePartitioner,
+    optimize_dimensions,
+)
+from repro.partitioning.hash_hypercube import HashHypercube
+from repro.partitioning.random_hypercube import RandomHypercube
+from repro.partitioning.hybrid_hypercube import HybridHypercube
+from repro.partitioning.two_way import HashTwoWay, OneBucket, MBucket
+from repro.partitioning.ewh import EWHScheme
+from repro.partitioning.adaptive import AdaptiveOneBucket
+
+__all__ = [
+    "Partitioner",
+    "UnsupportedJoinError",
+    "DimensionSpec",
+    "HypercubeConfig",
+    "HypercubePartitioner",
+    "optimize_dimensions",
+    "HashHypercube",
+    "RandomHypercube",
+    "HybridHypercube",
+    "HashTwoWay",
+    "OneBucket",
+    "MBucket",
+    "EWHScheme",
+    "AdaptiveOneBucket",
+]

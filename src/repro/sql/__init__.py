@@ -1,0 +1,13 @@
+"""Declarative interface: a SQL subset over the online engine.
+
+Similarly to Hive's SQL-on-Hadoop, Squall's declarative interface runs SQL
+over Storm (paper section 2).  The subset covers the paper's evaluation
+queries: multi-relation FROM with aliases (self-joins), conjunctive WHERE
+with equi/theta/band join conditions and constant filters, and GROUP BY
+with SUM / COUNT / AVG aggregates.
+"""
+
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse_query, SqlError
+
+__all__ = ["Token", "tokenize", "parse_query", "SqlError"]

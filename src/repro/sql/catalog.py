@@ -1,0 +1,53 @@
+"""Convenience entry point: SQL string -> executed results.
+
+Ties the parser, the optimizer and the runner together, mirroring the
+paper's Figure 1 pipeline: Parser -> logical plan -> query optimizer ->
+physical plan -> Squall-to-Storm translator -> execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.optimizer import Catalog, Optimizer, OptimizerOptions
+from repro.core.schema import Relation
+from repro.engine.runner import RunResult, run_plan
+from repro.sql.parser import parse_query
+
+
+class SqlSession:
+    """Run SQL over registered relations."""
+
+    def __init__(self, catalog: Optional[Catalog] = None,
+                 options: Optional[OptimizerOptions] = None):
+        self.catalog = catalog or Catalog()
+        self.options = options or OptimizerOptions()
+
+    def register(self, relation: Relation):
+        self.catalog.register(relation)
+
+    def _schemas(self) -> Dict[str, object]:
+        return {name: self.catalog.get(name).schema for name in self.catalog.names()}
+
+    def plan(self, sql: str):
+        """Parse and optimize a query, returning the physical plan."""
+        logical = parse_query(sql, self._schemas())
+        return Optimizer(self.catalog, self.options).compile(logical)
+
+    def explain(self, sql: str) -> str:
+        """Logical + physical plan description without executing."""
+        logical = parse_query(sql, self._schemas())
+        physical = Optimizer(self.catalog, self.options).compile(logical)
+        parts = [logical.dag()]
+        for join in physical.joins:
+            parts.append(f"  {join.name}: scheme={join.scheme} "
+                         f"local={join.local_join} machines={join.machines}")
+        if physical.aggregation:
+            agg = physical.aggregation
+            parts.append(f"  agg: groups={list(agg.group_positions)} "
+                         f"parallelism={agg.parallelism}")
+        return "\n".join(parts)
+
+    def execute(self, sql: str) -> RunResult:
+        """Parse, optimize and run a query on the local cluster."""
+        return run_plan(self.plan(sql))

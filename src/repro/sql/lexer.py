@@ -1,0 +1,83 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND",
+    "SUM", "COUNT", "AVG", "BETWEEN",
+}
+
+SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*", "+", "-", "/")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'symbol' | 'end'
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.value == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind == "symbol" and self.value == symbol
+
+
+class LexError(ValueError):
+    pass
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split SQL text into tokens; raises :class:`LexError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = text.find("'", i + 1)
+            if j < 0:
+                raise LexError(f"unterminated string literal at {i}")
+            tokens.append(Token("string", text[i + 1:j], i))
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot
+                                                   and j + 1 < n and text[j + 1].isdigit())):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token("symbol", symbol, i))
+                i += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("end", "", n))
+    return tokens

@@ -1,0 +1,154 @@
+"""Interactive interface: a small shell over the SQL session.
+
+Squall offers an interactive interface built on top of the Scala REPL
+that lets a user construct and run query plans interactively (paper
+section 2).  This is the Python counterpart: a line-oriented shell over
+:class:`~repro.sql.catalog.SqlSession` with meta-commands for inspecting
+the catalog, explaining plans and tuning execution options.
+
+Meta-commands (everything else is executed as SQL):
+
+    \\tables                 list registered relations
+    \\schema <table>         show a relation's schema
+    \\explain <sql>          logical + physical plan without executing
+    \\set machines <n>       joiner parallelism
+    \\set scheme <name>      auto | hash | random | hybrid
+    \\set mode <name>        multiway | pipeline
+    \\set local <name>       dbtoaster | traditional
+    \\help                   this text
+    \\quit                   leave the shell
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.optimizer import OptimizerOptions
+from repro.sql.catalog import SqlSession
+
+HELP_TEXT = __doc__.split("Meta-commands", 1)[1]
+
+
+class SquallShell:
+    """Stateful line interpreter; ``handle_line`` returns printable output.
+
+    Kept free of input()/print() so it is fully testable; :func:`main`
+    wraps it in a read-eval-print loop.
+    """
+
+    def __init__(self, session: Optional[SqlSession] = None):
+        self.session = session or SqlSession()
+        self.finished = False
+        self.max_rows = 20
+
+    # -- command dispatch ---------------------------------------------------
+
+    def handle_line(self, line: str) -> str:
+        line = line.strip()
+        if not line:
+            return ""
+        if line.startswith("\\"):
+            return self._meta(line)
+        return self._run_sql(line)
+
+    def _meta(self, line: str) -> str:
+        parts = line.split()
+        command = parts[0].lower()
+        args = parts[1:]
+        if command in ("\\quit", "\\q", "\\exit"):
+            self.finished = True
+            return "bye"
+        if command == "\\help":
+            return "Meta-commands" + HELP_TEXT
+        if command == "\\tables":
+            names = self.session.catalog.names()
+            if not names:
+                return "(no relations registered)"
+            lines = []
+            for name in names:
+                relation = self.session.catalog.get(name)
+                lines.append(f"{name}: {len(relation)} rows")
+            return "\n".join(lines)
+        if command == "\\schema":
+            if not args:
+                return "usage: \\schema <table>"
+            try:
+                relation = self.session.catalog.get(args[0])
+            except KeyError as exc:
+                return f"error: {exc}"
+            return repr(relation.schema)
+        if command == "\\explain":
+            sql = line[len("\\explain"):].strip()
+            if not sql:
+                return "usage: \\explain <sql>"
+            try:
+                return self.session.explain(sql)
+            except Exception as exc:  # surface parser/planner errors
+                return f"error: {exc}"
+        if command == "\\set":
+            return self._set_option(args)
+        return f"unknown command {command!r}; try \\help"
+
+    def _set_option(self, args: List[str]) -> str:
+        if len(args) != 2:
+            return "usage: \\set <machines|scheme|mode|local> <value>"
+        option, value = args
+        options = self.session.options
+        if option == "machines":
+            try:
+                options.machines = int(value)
+            except ValueError:
+                return "machines must be an integer"
+            return f"machines = {options.machines}"
+        if option == "scheme":
+            if value not in ("auto", "hash", "random", "hybrid"):
+                return "scheme must be auto | hash | random | hybrid"
+            options.scheme = value
+            return f"scheme = {value}"
+        if option == "mode":
+            if value not in ("multiway", "pipeline"):
+                return "mode must be multiway | pipeline"
+            options.mode = value
+            return f"mode = {value}"
+        if option == "local":
+            if value not in ("dbtoaster", "traditional"):
+                return "local must be dbtoaster | traditional"
+            options.local_join = value
+            return f"local = {value}"
+        return f"unknown option {option!r}"
+
+    def _run_sql(self, sql: str) -> str:
+        try:
+            result = self.session.execute(sql)
+        except Exception as exc:
+            return f"error: {exc}"
+        lines = []
+        for row in result.results[: self.max_rows]:
+            lines.append(" | ".join(str(value) for value in row))
+        if len(result.results) > self.max_rows:
+            lines.append(f"... ({len(result.results)} rows total)")
+        lines.append(
+            f"-- {len(result.results)} rows; "
+            f"input {result.query_input:,} tuples; "
+            + "; ".join(
+                f"{name}: {info}" for name, info in result.partitioner_info.items()
+            )
+        )
+        return "\n".join(lines)
+
+
+def main():  # pragma: no cover - interactive wrapper
+    shell = SquallShell()
+    print("Squall interactive shell -- \\help for commands")
+    while not shell.finished:
+        try:
+            line = input("squall> ")
+        except EOFError:
+            break
+        output = shell.handle_line(line)
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,14 @@
+"""Disk-spill storage (the paper's BerkeleyDB connectivity).
+
+Squall is a main-memory system but offers connectivity to BerkeleyDB,
+which spills tuples to disk when main memory is insufficient -- at the
+cost of orders-of-magnitude worse throughput and latency (paper section
+2).  :class:`~repro.storage.diskstore.SpillingHashIndex` reproduces that
+trade-off: a drop-in hash index that evicts cold buckets to an
+append-only log file once a memory budget is exceeded, with disk
+operation counters for the cost model.
+"""
+
+from repro.storage.diskstore import DiskLog, SpillingHashIndex
+
+__all__ = ["DiskLog", "SpillingHashIndex"]

@@ -1,0 +1,160 @@
+"""A spill-to-disk hash index standing in for BerkeleyDB connectivity.
+
+Design: the index keeps buckets in memory up to ``memory_budget`` stored
+entries.  On overflow it evicts the largest bucket to an append-only log
+file (one pickled record per spilled entry).  Lookups of spilled keys
+scan the log -- deliberately expensive, mirroring the paper's observation
+that performance is orders of magnitude better when only main memory is
+used.  ``disk_writes`` / ``disk_reads`` counters feed the cost model.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class DiskLog:
+    """Append-only log of pickled (key, row) records."""
+
+    def __init__(self, path: Optional[str] = None):
+        if path is None:
+            handle = tempfile.NamedTemporaryFile(
+                prefix="repro-spill-", suffix=".log", delete=False
+            )
+            handle.close()
+            path = handle.name
+            self._owns_file = True
+        else:
+            self._owns_file = False
+        self.path = path
+        self.records = 0
+
+    def append(self, key, row: tuple):
+        with open(self.path, "ab") as handle:
+            pickle.dump((key, row), handle)
+        self.records += 1
+
+    def scan(self) -> Iterator[Tuple[object, tuple]]:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as handle:
+            while True:
+                try:
+                    yield pickle.load(handle)
+                except EOFError:
+                    return
+
+    def close(self):
+        if self._owns_file and os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def __del__(self):  # best-effort temp file cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class SpillingHashIndex:
+    """Hash multimap with a memory budget and disk spill.
+
+    Interface-compatible with :class:`repro.joins.indexes.HashIndex` for
+    insert/lookup; deletions of spilled entries are recorded as
+    tombstones (the log is append-only, as in a log-structured store).
+    """
+
+    def __init__(self, memory_budget: int, log: Optional[DiskLog] = None):
+        if memory_budget <= 0:
+            raise ValueError("memory_budget must be positive")
+        self.memory_budget = memory_budget
+        self._buckets: Dict[object, Dict[tuple, int]] = {}
+        self._spilled_keys: set = set()
+        self._tombstones: Dict[Tuple[object, tuple], int] = {}
+        self.log = log or DiskLog()
+        self.in_memory = 0
+        self.size = 0
+        self.disk_writes = 0
+        self.disk_reads = 0
+
+    # -- core operations ----------------------------------------------------
+
+    def insert(self, key, row: tuple):
+        if key in self._spilled_keys:
+            # keep spilled keys on disk: appending is cheap, reads pay
+            self.log.append(key, row)
+            self.disk_writes += 1
+            self.size += 1
+            return
+        bucket = self._buckets.setdefault(key, {})
+        bucket[row] = bucket.get(row, 0) + 1
+        self.in_memory += 1
+        self.size += 1
+        if self.in_memory > self.memory_budget:
+            self._evict()
+
+    def _evict(self):
+        """Spill the largest in-memory bucket to the log."""
+        if not self._buckets:
+            return
+        victim = max(self._buckets, key=lambda k: sum(self._buckets[k].values()))
+        bucket = self._buckets.pop(victim)
+        for row, count in bucket.items():
+            for _copy in range(count):
+                self.log.append(victim, row)
+                self.disk_writes += 1
+        self.in_memory -= sum(bucket.values())
+        self._spilled_keys.add(victim)
+
+    def lookup(self, key) -> Iterator[Tuple[tuple, int]]:
+        if key in self._spilled_keys:
+            found: Dict[tuple, int] = {}
+            for logged_key, row in self.log.scan():
+                self.disk_reads += 1
+                if logged_key == key:
+                    found[row] = found.get(row, 0) + 1
+            for (t_key, t_row), count in self._tombstones.items():
+                if t_key == key and t_row in found:
+                    found[t_row] -= count
+            yield from ((row, count) for row, count in found.items() if count > 0)
+            return
+        bucket = self._buckets.get(key)
+        if bucket:
+            yield from bucket.items()
+
+    def delete(self, key, row: tuple) -> bool:
+        if key in self._spilled_keys:
+            present = any(
+                stored == row and count > 0 for stored, count in self.lookup(key)
+            )
+            if not present:
+                return False
+            tombstone = (key, row)
+            self._tombstones[tombstone] = self._tombstones.get(tombstone, 0) + 1
+            self.size -= 1
+            return True
+        bucket = self._buckets.get(key)
+        if not bucket or row not in bucket:
+            return False
+        bucket[row] -= 1
+        if bucket[row] == 0:
+            del bucket[row]
+            if not bucket:
+                del self._buckets[key]
+        self.in_memory -= 1
+        self.size -= 1
+        return True
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def spilled_fraction(self) -> float:
+        return 1.0 - (self.in_memory / self.size) if self.size else 0.0
+
+    def __len__(self):
+        return self.size
+
+    def close(self):
+        self.log.close()

@@ -1,0 +1,135 @@
+"""Stream groupings: how a stream is partitioned among a bolt's tasks.
+
+Mirrors Storm's grouping vocabulary (shuffle, fields, all, global, custom)
+plus two Squall-specific groupings: the hypercube grouping that implements
+the partitioning schemes, and the key-mapped grouping that round-robins a
+small predefined key domain to avoid hash imperfections (paper section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.partitioning.base import Partitioner
+from repro.util import stable_hash
+
+
+class Grouping:
+    """Chooses target task indices for each tuple of a stream."""
+
+    def targets(self, stream: str, values: tuple, n_tasks: int) -> List[int]:
+        raise NotImplementedError
+
+    def is_content_sensitive(self) -> bool:
+        """Content-sensitive groupings route by value and are prone to
+        temporal skew (section 5); content-insensitive ones are not."""
+        return True
+
+
+class ShuffleGrouping(Grouping):
+    """Round-robin distribution -- content-insensitive."""
+
+    def __init__(self):
+        self._next = 0
+
+    def targets(self, stream: str, values: tuple, n_tasks: int) -> List[int]:
+        target = self._next % n_tasks
+        self._next += 1
+        return [target]
+
+    def is_content_sensitive(self) -> bool:
+        return False
+
+
+class FieldsGrouping(Grouping):
+    """Hash partitioning on selected field positions."""
+
+    def __init__(self, positions: Sequence[int]):
+        if not positions:
+            raise ValueError("fields grouping needs at least one position")
+        self.positions = tuple(positions)
+
+    def targets(self, stream: str, values: tuple, n_tasks: int) -> List[int]:
+        key = tuple(values[p] for p in self.positions)
+        return [stable_hash(key) % n_tasks]
+
+
+class AllGrouping(Grouping):
+    """Broadcast to every task (dimension replication, small dimension tables)."""
+
+    def targets(self, stream: str, values: tuple, n_tasks: int) -> List[int]:
+        return list(range(n_tasks))
+
+    def is_content_sensitive(self) -> bool:
+        return False
+
+
+class GlobalGrouping(Grouping):
+    """Everything to task 0 (final single-task aggregation)."""
+
+    def targets(self, stream: str, values: tuple, n_tasks: int) -> List[int]:
+        return [0]
+
+    def is_content_sensitive(self) -> bool:
+        return False
+
+
+class CustomGrouping(Grouping):
+    """Delegates to a user function ``fn(stream, values, n_tasks) -> [task]``."""
+
+    def __init__(self, fn: Callable[[str, tuple, int], List[int]],
+                 content_sensitive: bool = True):
+        self.fn = fn
+        self._content_sensitive = content_sensitive
+
+    def targets(self, stream: str, values: tuple, n_tasks: int) -> List[int]:
+        return self.fn(stream, values, n_tasks)
+
+    def is_content_sensitive(self) -> bool:
+        return self._content_sensitive
+
+
+class HypercubeGrouping(Grouping):
+    """Routes one join input relation through a partitioning scheme.
+
+    The edge from relation ``rel_name``'s source component to the joiner
+    asks the shared partitioner for the destination machines of each tuple
+    -- this is how Squall builds its schemes from Storm stream groupings.
+    """
+
+    def __init__(self, partitioner: Partitioner, rel_name: str):
+        self.partitioner = partitioner
+        self.rel_name = rel_name
+
+    def targets(self, stream: str, values: tuple, n_tasks: int) -> List[int]:
+        if n_tasks != self.partitioner.n_machines:
+            raise ValueError(
+                f"joiner parallelism {n_tasks} does not match the scheme's "
+                f"{self.partitioner.n_machines} machines"
+            )
+        return self.partitioner.destinations(self.rel_name, values)
+
+    def is_content_sensitive(self) -> bool:
+        return self.partitioner.is_content_sensitive()
+
+
+class KeyMappedGrouping(Grouping):
+    """Round-robin assignment of a small predefined key domain.
+
+    When the number of distinct GROUP BY / join keys is close to the
+    parallelism, hash imperfections easily give one task twice its fair
+    share.  Squall instead fixes an optimal key->task mapping up front
+    (paper section 5, 'Skew due to hash imperfections').
+    """
+
+    def __init__(self, position: int, mapping: Dict[object, int]):
+        self.position = position
+        self.mapping = dict(mapping)
+
+    def targets(self, stream: str, values: tuple, n_tasks: int) -> List[int]:
+        key = values[self.position]
+        try:
+            return [self.mapping[key] % n_tasks]
+        except KeyError:
+            # unseen key: fall back to hashing rather than dropping data
+            return [stable_hash(key) % n_tasks]

@@ -1,0 +1,91 @@
+"""Topology execution metrics: the monitors of the paper's demo (section 6).
+
+- **Replication factor** of a component: its number of input tuples divided
+  by the total number of tuples produced by the immediate upstream
+  components (the online counterpart of the MapReduce replication rate).
+- **Skew degree**: largest partition size divided by the average partition
+  size.
+- **Intermediate network factor** of a query plan: the sum of all component
+  tasks' input and output divided by the sum of the query input and query
+  output -- the amount of intermediate network shuffling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class TopologyMetrics:
+    """Per-task and per-edge counters collected by the LocalCluster."""
+
+    received: Dict[str, List[int]] = field(default_factory=dict)
+    emitted: Dict[str, List[int]] = field(default_factory=dict)
+    edge_transfers: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def register(self, component: str, parallelism: int):
+        self.received[component] = [0] * parallelism
+        self.emitted[component] = [0] * parallelism
+
+    def record_emit(self, component: str, task: int, count: int = 1):
+        self.emitted[component][task] += count
+
+    def record_receive(self, source: str, target: str, task: int):
+        self.received[target][task] += 1
+        key = (source, target)
+        self.edge_transfers[key] = self.edge_transfers.get(key, 0) + 1
+
+    # -- component-level monitors -----------------------------------------
+
+    def component_input(self, component: str) -> int:
+        return sum(self.received.get(component, ()))
+
+    def component_output(self, component: str) -> int:
+        return sum(self.emitted.get(component, ()))
+
+    def max_load(self, component: str) -> int:
+        loads = self.received.get(component, ())
+        return max(loads) if loads else 0
+
+    def avg_load(self, component: str) -> float:
+        loads = self.received.get(component, ())
+        return sum(loads) / len(loads) if loads else 0.0
+
+    def skew_degree(self, component: str) -> float:
+        """Largest partition size over average partition size."""
+        avg = self.avg_load(component)
+        return self.max_load(component) / avg if avg else 0.0
+
+    def replication_factor(self, component: str, upstream: List[str]) -> float:
+        """Input tuples of ``component`` / output tuples of its upstreams."""
+        produced = sum(self.component_output(up) for up in upstream)
+        if produced == 0:
+            return 0.0
+        return self.component_input(component) / produced
+
+    # -- plan-level monitors ------------------------------------------------
+
+    def total_network_tuples(self) -> int:
+        return sum(self.edge_transfers.values())
+
+    def intermediate_network_factor(self, query_input: int, query_output: int) -> float:
+        """(sum of task inputs and outputs) / (query input + query output)."""
+        denominator = query_input + query_output
+        if denominator == 0:
+            return 0.0
+        task_io = sum(sum(v) for v in self.received.values()) + sum(
+            sum(v) for v in self.emitted.values()
+        )
+        return task_io / denominator
+
+    def summary(self) -> str:
+        lines = []
+        for component in sorted(self.received):
+            lines.append(
+                f"{component}: in={self.component_input(component)} "
+                f"out={self.component_output(component)} "
+                f"skew={self.skew_degree(component):.2f}"
+            )
+        lines.append(f"network tuples: {self.total_network_tuples()}")
+        return "\n".join(lines)

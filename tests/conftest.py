@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo
+from repro.core.schema import Relation, Schema
+
+
+@pytest.fixture
+def rst_spec():
+    """The paper's running example: R(x,y) >< S(y,z) >< T(z,t)."""
+    return JoinSpec(
+        [
+            RelationInfo("R", Schema.of("x", "y"), 1000),
+            RelationInfo("S", Schema.of("y", "z"), 1000),
+            RelationInfo("T", Schema.of("z", "t"), 1000),
+        ],
+        [
+            EquiCondition(("R", "y"), ("S", "y")),
+            EquiCondition(("S", "z"), ("T", "z")),
+        ],
+    )
+
+
+def make_rst_data(seed=0, n=40, y_domain=6, z_domain=5, x_domain=20, t_domain=9):
+    """Random data for the R-S-T chain join, sized to keep references fast."""
+    rng = random.Random(seed)
+    return {
+        "R": [(rng.randrange(x_domain), rng.randrange(y_domain)) for _ in range(n)],
+        "S": [(rng.randrange(y_domain), rng.randrange(z_domain)) for _ in range(n)],
+        "T": [(rng.randrange(z_domain), rng.randrange(t_domain)) for _ in range(n)],
+    }
+
+
+def interleaved_stream(data, seed=0):
+    """A shuffled (relation, row) stream from a data dict."""
+    rng = random.Random(seed)
+    stream = [(name, row) for name, rows in data.items() for row in rows]
+    rng.shuffle(stream)
+    return stream

@@ -1,0 +1,170 @@
+"""Tests for the EWH (equi-weight histogram) scheme."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.predicates import BandCondition, EquiCondition, ThetaCondition
+from repro.partitioning.ewh import (
+    EWHScheme,
+    Region,
+    cell_can_join,
+    equi_depth_boundaries,
+    tile_matrix,
+)
+from repro.partitioning.two_way import MBucket
+
+
+class TestEquiDepthBoundaries:
+    def test_uniform_split(self):
+        boundaries = equi_depth_boundaries(list(range(100)), 4)
+        assert len(boundaries) == 3
+        assert boundaries == [25, 50, 75]
+
+    def test_skewed_sample_gets_fine_buckets_at_hotspot(self):
+        sample = [5] * 90 + list(range(10))
+        boundaries = equi_depth_boundaries(sample, 4)
+        assert boundaries.count(5) >= 2  # most boundaries collapse at the hot key
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            equi_depth_boundaries([], 4)
+
+
+class TestCellCanJoin:
+    def test_band(self):
+        cond = BandCondition(("R", "k"), ("S", "k"), width=2)
+        assert cell_can_join(cond, (0, 10), (11, 20))   # 10 vs 11 within 2
+        assert not cell_can_join(cond, (0, 10), (13, 20))
+
+    def test_less_than(self):
+        cond = ThetaCondition(("R", "k"), "<", ("S", "k"))
+        assert cell_can_join(cond, (0, 10), (5, 20))
+        assert not cell_can_join(cond, (10, 20), (0, 10))  # l_lo=10 !< r_hi=10
+
+    def test_less_equal_boundary(self):
+        cond = ThetaCondition(("R", "k"), "<=", ("S", "k"))
+        assert cell_can_join(cond, (10, 20), (0, 10))  # 10 <= 10
+
+    def test_equi(self):
+        cond = EquiCondition(("R", "k"), ("S", "k"))
+        assert cell_can_join(cond, (0, 10), (10, 20))
+        assert not cell_can_join(cond, (0, 9), (10, 20))
+
+    def test_not_equal_always_possible(self):
+        cond = ThetaCondition(("R", "k"), "!=", ("S", "k"))
+        assert cell_can_join(cond, (5, 5), (5, 5))
+
+
+class TestTileMatrix:
+    def test_covers_matrix_exactly_once(self):
+        rng = random.Random(0)
+        weights = [[rng.random() for _ in range(8)] for _ in range(8)]
+        regions = tile_matrix(weights, 7)
+        coverage = Counter()
+        for region in regions:
+            for i in range(region.row_lo, region.row_hi + 1):
+                for j in range(region.col_lo, region.col_hi + 1):
+                    coverage[(i, j)] += 1
+        assert all(count == 1 for count in coverage.values())
+        assert len(coverage) == 64
+
+    def test_region_count_bounded(self):
+        weights = [[1.0] * 6 for _ in range(6)]
+        regions = tile_matrix(weights, 4)
+        assert len(regions) <= 4
+
+    def test_balances_weight(self):
+        weights = [[1.0] * 8 for _ in range(8)]
+        regions = tile_matrix(weights, 4)
+        region_weights = sorted(r.weight for r in regions)
+        assert region_weights[-1] <= 2 * region_weights[0]
+
+    def test_heavy_cell_isolated(self):
+        weights = [[0.0] * 4 for _ in range(4)]
+        weights[2][2] = 100.0
+        weights[0][0] = 1.0
+        regions = tile_matrix(weights, 4)
+        heavy = [r for r in regions if r.contains_cell(2, 2)]
+        assert len(heavy) == 1
+        # the heavy region should be small (the tiler zooms in on it)
+        assert heavy[0].cells <= 4
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            tile_matrix([], 4)
+
+
+class TestEWHScheme:
+    def make(self, machines=8, width=5.0, left_skew=False, seed=0):
+        rng = random.Random(seed)
+        left = [rng.randrange(1000) for _ in range(600)]
+        if left_skew:
+            left = [500] * 400 + [rng.randrange(1000) for _ in range(200)]
+        right = [rng.randrange(1000) for _ in range(600)]
+        cond = BandCondition(("R", "k"), ("S", "k"), width=width)
+        scheme = EWHScheme("R", 0, "S", 0, machines, left, right, cond)
+        return scheme, cond, left, right
+
+    def test_band_pairs_meet_at_least_once(self):
+        scheme, cond, left, right = self.make()
+        for l_val in left[:80]:
+            l_dest = set(scheme.destinations("R", (l_val,)))
+            for r_val in right[:80]:
+                if cond.evaluate(l_val, r_val):
+                    r_dest = set(scheme.destinations("S", (r_val,)))
+                    assert l_dest & r_dest, (l_val, r_val)
+
+    def test_pairs_meet_exactly_once(self):
+        """Regions tile the matrix, so a joinable pair shares exactly one
+        region -- no duplicate results."""
+        scheme, cond, left, right = self.make(machines=6)
+        for l_val in left[:60]:
+            l_dest = set(scheme.destinations("R", (l_val,)))
+            for r_val in right[:60]:
+                if cond.evaluate(l_val, r_val):
+                    shared = l_dest & set(scheme.destinations("S", (r_val,)))
+                    assert len(shared) == 1
+
+    def test_prunes_non_joinable_destinations(self):
+        """A tuple is not sent to regions whose opposite value range cannot
+        join it (the range-pruning that beats 1-Bucket for band joins)."""
+        scheme, _cond, _left, _right = self.make(machines=8, width=2.0)
+        destinations = scheme.destinations("R", (100,))
+        assert len(destinations) < scheme.n_machines
+
+    def test_output_balance_beats_mbucket_under_product_skew(self):
+        """EWH balances estimated *output*; M-Bucket only input.  With the
+        right side clustered at one value, M-Bucket pins the output to the
+        stripes covering it, while EWH splits that hotspot across more
+        machines."""
+        rng = random.Random(7)
+        left = [rng.randrange(1000) for _ in range(600)]
+        right = [500 + rng.randrange(3) for _ in range(600)]
+        cond = BandCondition(("R", "k"), ("S", "k"), width=3.0)
+        ewh = EWHScheme("R", 0, "S", 0, 8, left, right, cond)
+        mbucket = MBucket("R", 0, "S", 0, 8, left, cond)
+
+        def output_loads(scheme):
+            loads = Counter()
+            for l_val in left:
+                l_dest = set(scheme.destinations("R", (l_val,)))
+                for r_val in (499, 500, 501, 502, 503):
+                    if cond.evaluate(l_val, r_val):
+                        for machine in l_dest & set(scheme.destinations("S", (r_val,))):
+                            loads[machine] += 1
+            return loads
+
+        ewh_loads = output_loads(ewh)
+        mb_loads = output_loads(mbucket)
+        assert len(ewh_loads) > len(mb_loads)
+
+    def test_expected_replication_reported(self):
+        scheme, _c, _l, _r = self.make()
+        assert scheme.expected_replication("R") >= 1
+        assert scheme.expected_replication("S") >= 1
+
+    def test_describe(self):
+        scheme, _c, _l, _r = self.make()
+        assert "EWH" in scheme.describe()

@@ -1,0 +1,119 @@
+"""Tests for repro.core.expressions."""
+
+import datetime
+
+import pytest
+
+from repro.core.expressions import (
+    And,
+    Arithmetic,
+    Comparison,
+    DateValue,
+    Literal,
+    Not,
+    Or,
+    TruePredicate,
+    col,
+    lit,
+    parse_date,
+)
+from repro.core.schema import Schema
+
+SCHEMA = Schema.of("a", "b", "s:str", "d:date")
+ROW = (10, 3, "hello", "1995-06-17")
+
+
+class TestBasics:
+    def test_column_compiles_to_position(self):
+        assert col("b").compile(SCHEMA)(ROW) == 3
+
+    def test_unknown_column_raises_at_compile_time(self):
+        with pytest.raises(KeyError):
+            col("nope").compile(SCHEMA)
+
+    def test_literal(self):
+        assert lit(42).compile(SCHEMA)(ROW) == 42
+
+    def test_columns_reported(self):
+        expr = col("a") + col("b") * lit(2)
+        assert set(expr.columns()) == {"a", "b"}
+
+
+class TestArithmetic:
+    def test_add_sub_mul_div(self):
+        assert (col("a") + col("b")).compile(SCHEMA)(ROW) == 13
+        assert (col("a") - col("b")).compile(SCHEMA)(ROW) == 7
+        assert (col("a") * col("b")).compile(SCHEMA)(ROW) == 30
+        assert (col("a") / lit(4)).compile(SCHEMA)(ROW) == 2.5
+
+    def test_rmul_for_scaled_conditions(self):
+        # the paper's 2 * R.B < S.C shape
+        assert (2 * col("b")).compile(SCHEMA)(ROW) == 6
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Arithmetic(col("a"), "%", lit(2))
+
+
+class TestComparisons:
+    def test_all_operators(self):
+        assert col("a").eq(10).compile(SCHEMA)(ROW)
+        assert col("a").ne(9).compile(SCHEMA)(ROW)
+        assert col("b").lt(4).compile(SCHEMA)(ROW)
+        assert col("b").le(3).compile(SCHEMA)(ROW)
+        assert col("a").gt(9).compile(SCHEMA)(ROW)
+        assert col("a").ge(10).compile(SCHEMA)(ROW)
+
+    def test_comparison_against_column(self):
+        assert Comparison(col("a"), ">", col("b")).compile(SCHEMA)(ROW)
+
+    def test_unknown_comparator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison(col("a"), "~", lit(1))
+
+
+class TestBooleanCombinators:
+    def test_and(self):
+        predicate = col("a").gt(5) & col("b").lt(5)
+        assert predicate.compile(SCHEMA)(ROW)
+
+    def test_or_short_circuit_semantics(self):
+        predicate = col("a").gt(100) | col("b").eq(3)
+        assert predicate.compile(SCHEMA)(ROW)
+
+    def test_not(self):
+        predicate = ~col("a").gt(100)
+        assert predicate.compile(SCHEMA)(ROW)
+
+    def test_nested_combination(self):
+        predicate = (col("a").gt(5) & ~col("b").gt(10)) | col("s").eq("nope")
+        assert predicate.compile(SCHEMA)(ROW)
+
+    def test_columns_aggregate_through_combinators(self):
+        predicate = col("a").gt(1) & (col("b").lt(2) | ~col("s").eq("x"))
+        assert set(predicate.columns()) == {"a", "b", "s"}
+
+
+class TestDates:
+    def test_parse_date(self):
+        assert parse_date("1995-06-17") == datetime.date(1995, 6, 17)
+
+    def test_date_value_materialises(self):
+        expr = DateValue(col("d"))
+        assert expr.compile(SCHEMA)(ROW) == datetime.date(1995, 6, 17)
+
+    def test_date_comparison(self):
+        predicate = DateValue(col("d")).lt(datetime.date(1996, 1, 1))
+        assert predicate.compile(SCHEMA)(ROW)
+
+    def test_parse_date_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_date("not-a-date")
+
+
+class TestNoopSelection:
+    def test_true_predicate_passes_everything(self):
+        # Figure 5's no-op selection: passes through all the tuples
+        fn = TruePredicate().compile(SCHEMA)
+        assert fn(ROW) is True
+        assert fn(()) is True

@@ -1,0 +1,98 @@
+"""Tests for scheme-aware fault tolerance (paper section 5)."""
+
+import pytest
+
+from repro.partitioning import HashHypercube, HybridHypercube, RandomHypercube
+from repro.storm.failures import (
+    RecoveryReport,
+    ReplicatedStateTracker,
+    checkpoint_plan,
+)
+
+from conftest import make_rst_data
+
+
+class TestPeerMachines:
+    def test_random_hypercube_peers_match_figure_2b(self, rst_spec):
+        """In a 4x4x4 Random-Hypercube, machine {1,1,1}'s R slice lives on
+        every {1,*,*} machine (the paper's recovery example)."""
+        partitioner = RandomHypercube.build(rst_spec, 64)
+        machine = partitioner.linearize((1, 1, 1))
+        peers = partitioner.peer_machines(machine, "R")
+        assert len(peers) == 15  # 4*4 - itself
+        for peer in peers:
+            assert partitioner.delinearize(peer)[0] == 1
+
+    def test_fully_partitioned_relation_has_no_peers(self, rst_spec):
+        """S owns both dims of the 8x8 Hash-Hypercube: no replicas exist."""
+        partitioner = HashHypercube.build(rst_spec, 64)
+        machine = partitioner.linearize((3, 4))
+        assert partitioner.peer_machines(machine, "S") == []
+        assert len(partitioner.peer_machines(machine, "R")) == 7
+
+
+class TestRecovery:
+    def test_random_scheme_recovers_everything(self, rst_spec):
+        partitioner = RandomHypercube.build(rst_spec, 8, seed=5)
+        tracker = ReplicatedStateTracker(partitioner)
+        data = make_rst_data(seed=50, n=60)
+        for name, rows in data.items():
+            for row in rows:
+                tracker.insert(name, row)
+        failed = 3
+        report = tracker.fail_and_recover(failed)
+        assert report.fully_recovered
+        for rel_name, recovered in report.recovered.items():
+            assert sorted(recovered) == sorted(tracker.slice_of(failed, rel_name))
+        assert report.network_tuples == sum(
+            len(rows) for rows in report.recovered.values()
+        )
+
+    def test_hash_scheme_reports_unrecoverable_relation(self, rst_spec):
+        partitioner = HashHypercube.build(rst_spec, 16, seed=6)
+        tracker = ReplicatedStateTracker(partitioner)
+        data = make_rst_data(seed=51, n=60)
+        for name, rows in data.items():
+            for row in rows:
+                tracker.insert(name, row)
+        # find a machine that actually stores some S tuples
+        machine = next(
+            m for m in range(partitioner.n_machines)
+            if tracker.state[m].get("S")
+        )
+        report = tracker.fail_and_recover(machine)
+        assert "S" in report.unrecoverable  # S owns every dimension
+        assert not report.fully_recovered
+        # R and T are replicated, so they recover
+        for rel in ("R", "T"):
+            if tracker.state[machine].get(rel):
+                assert rel in report.recovered
+
+    def test_network_faster_than_disk_story_counts_tuples(self, rst_spec):
+        partitioner = RandomHypercube.build(rst_spec, 8, seed=7)
+        tracker = ReplicatedStateTracker(partitioner)
+        data = make_rst_data(seed=52, n=30)
+        for name, rows in data.items():
+            for row in rows:
+                tracker.insert(name, row)
+        report = tracker.fail_and_recover(0)
+        assert report.network_tuples > 0
+
+
+class TestCheckpointPlan:
+    def test_hash_hypercube_needs_checkpoint_for_fully_owned(self, rst_spec):
+        partitioner = HashHypercube.build(rst_spec, 64)
+        plan = checkpoint_plan(partitioner)
+        assert plan == {"R": False, "S": True, "T": False}
+
+    def test_random_hypercube_needs_no_checkpoints(self, rst_spec):
+        partitioner = RandomHypercube.build(rst_spec, 64)
+        plan = checkpoint_plan(partitioner)
+        assert plan == {"R": False, "S": False, "T": False}
+
+    def test_partial_replication_minimises_checkpointing(self, rst_spec):
+        """Squall replicates only the state the scheme does not already
+        replicate: exactly the relations flagged True."""
+        partitioner = HashHypercube.build(rst_spec, 64)
+        flagged = [rel for rel, needed in checkpoint_plan(partitioner).items() if needed]
+        assert flagged == ["S"]

@@ -1,0 +1,128 @@
+"""Tests for the functional stream API."""
+
+import random
+from collections import Counter, defaultdict
+
+import pytest
+
+from repro.core.expressions import col
+from repro.core.optimizer import Catalog
+from repro.core.schema import Relation, Schema
+from repro.functional import QueryContext
+from repro.joins import reference_join
+
+
+@pytest.fixture
+def catalog():
+    rng = random.Random(80)
+    return Catalog({
+        "users": Relation("users", Schema.of("uid", "country:str"),
+                          [(i, rng.choice(["CH", "DE", "FR"])) for i in range(30)]),
+        "clicks": Relation("clicks", Schema.of("uid", "amount"),
+                           [(rng.randrange(30), rng.randrange(100))
+                            for _ in range(80)]),
+        "limits": Relation("limits", Schema.of("cap"),
+                           [(20,), (50,), (80,)]),
+    })
+
+
+class TestStreamBasics:
+    def test_unknown_table(self, catalog):
+        ctx = QueryContext(catalog)
+        with pytest.raises(KeyError):
+            ctx.stream("nope")
+
+    def test_filter_then_join_then_group(self, catalog):
+        ctx = QueryContext(catalog, machines=4)
+        result = (
+            ctx.stream("users")
+            .equi_join(ctx.stream("clicks"), "uid", "uid")
+            .filter(col("amount").ge(50))
+            .group_by("country")
+            .agg_count()
+            .agg_sum("amount")
+            .execute()
+        )
+        users = {row[0]: row[1] for row in catalog.get("users").rows}
+        expected = defaultdict(lambda: [0, 0])
+        for uid, amount in catalog.get("clicks").rows:
+            if amount >= 50:
+                expected[users[uid]][0] += 1
+                expected[users[uid]][1] += amount
+        assert sorted(result.results) == sorted(
+            (k, c, s) for k, (c, s) in expected.items()
+        )
+
+    def test_join_without_grouping_returns_rows(self, catalog):
+        ctx = QueryContext(catalog, machines=2)
+        result = (
+            ctx.stream("users")
+            .equi_join(ctx.stream("clicks"), "uid", "uid")
+            .execute()
+        )
+        assert len(result.results) == len(catalog.get("clicks").rows)
+
+    def test_theta_join(self, catalog):
+        ctx = QueryContext(catalog, machines=2)
+        result = (
+            ctx.stream("clicks")
+            .theta_join(ctx.stream("limits"), "amount", "<", "cap")
+            .execute(scheme="random")
+        )
+        expected = sum(
+            1
+            for _uid, amount in catalog.get("clicks").rows
+            for (cap,) in catalog.get("limits").rows
+            if amount < cap
+        )
+        assert len(result.results) == expected
+
+    def test_band_join(self, catalog):
+        ctx = QueryContext(catalog, machines=2)
+        result = (
+            ctx.stream("clicks")
+            .band_join(ctx.stream("limits"), "amount", "cap", width=5)
+            .execute(scheme="random")
+        )
+        expected = sum(
+            1
+            for _uid, amount in catalog.get("clicks").rows
+            for (cap,) in catalog.get("limits").rows
+            if abs(amount - cap) <= 5
+        )
+        assert len(result.results) == expected
+
+    def test_self_join_gets_fresh_alias(self, catalog):
+        ctx = QueryContext(catalog, machines=2)
+        stream = ctx.stream("users").equi_join(ctx.stream("users"), "uid", "uid")
+        aliases = [s.alias for s in stream._scans]
+        assert len(set(aliases)) == 2
+
+    def test_grouped_stream_requires_aggregate(self, catalog):
+        ctx = QueryContext(catalog)
+        grouped = ctx.stream("users").group_by("country")
+        with pytest.raises(ValueError, match="aggregate"):
+            grouped.logical_plan()
+
+    def test_filter_attribution_across_join(self, catalog):
+        ctx = QueryContext(catalog, machines=2)
+        joined = ctx.stream("users").equi_join(ctx.stream("clicks"), "uid", "uid")
+        filtered = joined.filter(col("country").eq("CH"))
+        plan = filtered.logical_plan()
+        user_scan = next(s for s in plan.scans if s.table == "users")
+        assert len(user_scan.predicates) == 1
+
+    def test_cross_context_join_rejected(self, catalog):
+        ctx_a = QueryContext(catalog)
+        ctx_b = QueryContext(catalog)
+        with pytest.raises(ValueError, match="different contexts"):
+            ctx_a.stream("users").equi_join(ctx_b.stream("clicks"), "uid", "uid")
+
+    def test_option_overrides_at_execute(self, catalog):
+        ctx = QueryContext(catalog, machines=2)
+        result = (
+            ctx.stream("users")
+            .equi_join(ctx.stream("clicks"), "uid", "uid")
+            .execute(machines=4, scheme="random")
+        )
+        assert "~" in result.partitioner_info["join"]  # random quasi-dims

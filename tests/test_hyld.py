@@ -1,0 +1,152 @@
+"""Tests for the HyLD parallel join operator."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo
+from repro.core.schema import Schema
+from repro.joins import HyLDOperator, reference_join
+from repro.joins.hyld import MemoryBudgetExceeded
+
+from conftest import interleaved_stream, make_rst_data
+
+
+@pytest.mark.parametrize("scheme", ["hash", "random", "hybrid"])
+@pytest.mark.parametrize("local_join", ["dbtoaster", "traditional"])
+class TestCorrectness:
+    def test_matches_reference(self, scheme, local_join, rst_spec):
+        data = make_rst_data(seed=40)
+        op = HyLDOperator(rst_spec, 9, scheme=scheme, local_join=local_join)
+        for rel, row in interleaved_stream(data, seed=1):
+            op.insert(rel, row)
+        assert Counter(op.outputs) == Counter(reference_join(rst_spec, data))
+
+
+class TestStats:
+    def test_replication_factor_hash_is_bounded_by_dims(self, rst_spec):
+        op = HyLDOperator(rst_spec, 16, scheme="hash")
+        data = make_rst_data(seed=41)
+        op.run(interleaved_stream(data))
+        stats = op.stats()
+        # 4x4 hypercube: R and T replicated 4x, S 1x -> factor (4+1+4)/3 = 3
+        assert stats.replication_factor == pytest.approx(3.0)
+
+    def test_random_scheme_has_higher_replication(self, rst_spec):
+        data = make_rst_data(seed=42)
+        hash_op = HyLDOperator(rst_spec, 16, scheme="hash")
+        hash_op.run(interleaved_stream(data))
+        random_op = HyLDOperator(rst_spec, 16, scheme="random")
+        random_op.run(interleaved_stream(data))
+        assert (random_op.stats().replication_factor
+                > hash_op.stats().replication_factor)
+
+    def test_skew_degree_random_is_balanced(self, rst_spec):
+        data = make_rst_data(seed=43, n=400)
+        op = HyLDOperator(rst_spec, 8, scheme="random", collect_outputs=False)
+        op.run(interleaved_stream(data))
+        assert op.stats().skew_degree < 1.3
+
+    def test_source_counts(self, rst_spec):
+        data = make_rst_data(seed=44, n=10)
+        op = HyLDOperator(rst_spec, 4)
+        op.run(interleaved_stream(data))
+        assert op.stats().source_counts == {"R": 10, "S": 10, "T": 10}
+
+    def test_collect_outputs_flag(self, rst_spec):
+        data = make_rst_data(seed=45, n=10)
+        op = HyLDOperator(rst_spec, 4, collect_outputs=False)
+        op.run(interleaved_stream(data))
+        assert op.outputs == []
+        assert op.output_count == len(reference_join(rst_spec, data))
+
+
+class TestMemoryBudget:
+    def test_overflow_raised_and_recorded(self, rst_spec):
+        data = make_rst_data(seed=46, n=200)
+        op = HyLDOperator(rst_spec, 2, memory_budget=20)
+        with pytest.raises(MemoryBudgetExceeded):
+            for rel, row in interleaved_stream(data):
+                op.insert(rel, row)
+        assert op.memory_overflow
+        assert op.overflow_after is not None
+
+    def test_run_swallows_overflow_and_reports(self, rst_spec):
+        data = make_rst_data(seed=46, n=200)
+        op = HyLDOperator(rst_spec, 2, memory_budget=20)
+        stats = op.run(interleaved_stream(data))
+        assert stats.memory_overflow
+        assert stats.overflow_after < 600
+
+    def test_skew_resilient_scheme_survives_budget_hash_cannot(self):
+        """Mirrors Figure 7's 80G case: under heavy skew the Hash-Hypercube
+        overflows one machine's memory while Hybrid completes."""
+        rng = random.Random(47)
+        spec = JoinSpec(
+            [
+                RelationInfo("L", Schema.of("k", "v"), 300, top_freq={"k": 0.7}),
+                RelationInfo("P", Schema.of("k", "w"), 30),
+            ],
+            [EquiCondition(("L", "k"), ("P", "k"))],
+        )
+        data = {
+            "L": [(0 if rng.random() < 0.7 else rng.randrange(30), i)
+                  for i in range(300)],
+            "P": [(i, i) for i in range(30)],
+        }
+        budget = 120
+        hash_op = HyLDOperator(spec, 8, scheme="hash", memory_budget=budget,
+                               collect_outputs=False)
+        hash_stats = hash_op.run(interleaved_stream(data, seed=1))
+        skewed_spec = JoinSpec(
+            [
+                RelationInfo("L", Schema.of("k", "v"), 300, skewed={"k"},
+                             top_freq={"k": 0.7}),
+                RelationInfo("P", Schema.of("k", "w"), 30),
+            ],
+            spec.conditions,
+        )
+        hybrid_op = HyLDOperator(skewed_spec, 8, scheme="hybrid",
+                                 memory_budget=budget, collect_outputs=False)
+        hybrid_stats = hybrid_op.run(interleaved_stream(data, seed=1))
+        assert hash_stats.memory_overflow
+        assert not hybrid_stats.memory_overflow
+
+
+class TestConfiguration:
+    def test_unknown_scheme_rejected(self, rst_spec):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            HyLDOperator(rst_spec, 4, scheme="mystery")
+
+    def test_unknown_local_join_rejected(self, rst_spec):
+        with pytest.raises(ValueError, match="unknown local join"):
+            HyLDOperator(rst_spec, 4, local_join="mystery")
+
+    def test_partitioner_instance_accepted(self, rst_spec):
+        from repro.partitioning import HashHypercube
+        partitioner = HashHypercube.build(rst_spec, 4)
+        op = HyLDOperator(rst_spec, 4, scheme=partitioner)
+        assert op.partitioner is partitioner
+
+    def test_custom_local_join_factory(self, rst_spec):
+        from repro.joins import TraditionalJoin
+        op = HyLDOperator(rst_spec, 4, local_join=lambda spec: TraditionalJoin(spec))
+        assert type(op.locals[0]).__name__ == "TraditionalJoin"
+
+    def test_describe(self, rst_spec):
+        op = HyLDOperator(rst_spec, 4)
+        assert "HyLD" in op.describe()
+        assert "DBToasterJoin" in op.describe()
+
+    def test_deletes_flow_through(self, rst_spec):
+        data = make_rst_data(seed=48, n=20)
+        op = HyLDOperator(rst_spec, 6)
+        for rel, row in interleaved_stream(data):
+            op.insert(rel, row)
+        retracted = op.delete("S", data["S"][0])
+        without = dict(data)
+        without["S"] = data["S"][1:]
+        expected = (Counter(reference_join(rst_spec, data))
+                    - Counter(reference_join(rst_spec, without)))
+        assert Counter(retracted) == expected

@@ -1,0 +1,195 @@
+"""Tests for the hypercube dimension optimiser (paper section 4)."""
+
+import pytest
+
+from repro.core.predicates import AttrRef
+from repro.partitioning.hypercube import (
+    HASH,
+    RANDOM,
+    DimensionSpec,
+    HypercubeConfig,
+    OptRelation,
+    _enumerate_sizes,
+    optimize_dimensions,
+)
+
+
+def hash_dim(name, *members):
+    return DimensionSpec(name, HASH, frozenset(members))
+
+
+def random_dim(name, member):
+    return DimensionSpec(name, RANDOM, frozenset({member}))
+
+
+class TestDimensionSpec:
+    def test_random_dim_requires_single_owner(self):
+        with pytest.raises(ValueError, match="exactly one relation"):
+            DimensionSpec("z", RANDOM, frozenset({("S", "z"), ("T", "z")}))
+
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            DimensionSpec("y", "range", frozenset({("R", "y")}))
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(ValueError):
+            DimensionSpec("y", HASH, frozenset())
+
+    def test_attribute_of_is_deterministic(self):
+        dim = hash_dim("k", ("R", "b"), ("R", "a"), ("S", "k"))
+        assert dim.attribute_of("R") == "a"  # sorted order
+        assert dim.attribute_of("S") == "k"
+        assert dim.attribute_of("T") is None
+
+    def test_owner_relations(self):
+        dim = hash_dim("y", ("R", "y"), ("S", "y"))
+        assert dim.owner_relations() == frozenset({"R", "S"})
+
+
+class TestEnumeration:
+    def test_all_products_bounded(self):
+        for sizes in _enumerate_sizes(3, 12):
+            product = sizes[0] * sizes[1] * sizes[2]
+            assert product <= 12
+
+    def test_counts_for_two_dims(self):
+        # number of (a, b) with a*b <= 6: sum over a of floor(6/a) = 6+3+2+1+1+1
+        assert len(list(_enumerate_sizes(2, 6))) == 14
+
+    def test_single_dim(self):
+        assert list(_enumerate_sizes(1, 3)) == [(1,), (2,), (3,)]
+
+
+class TestOptimizeDimensions:
+    def test_uniform_chain_picks_square(self):
+        """Paper 3.1: R><S><T, 64 machines, equal sizes -> 8x8, load 0.26H."""
+        dims = [
+            hash_dim("y", ("R", "y"), ("S", "y")),
+            hash_dim("z", ("S", "z"), ("T", "z")),
+        ]
+        relations = [
+            OptRelation("R", 1000, (0,), {}),
+            OptRelation("S", 1000, (0, 1), {}),
+            OptRelation("T", 1000, (1,), {}),
+        ]
+        config = optimize_dimensions(dims, relations, 64)
+        assert config.sizes == (8, 8)
+        assert config.max_load == pytest.approx(0.265625 * 1000)
+
+    def test_non_square_budget_uses_integers(self):
+        """7 machines, 3 symmetric dims: integer search must not fall back
+        to 1x1x1 sequential execution (the Chu et al. motivation)."""
+        dims = [
+            random_dim("~A", ("A", "*")),
+            random_dim("~B", ("B", "*")),
+            random_dim("~C", ("C", "*")),
+        ]
+        relations = [
+            OptRelation("A", 100, (0,), {}),
+            OptRelation("B", 100, (1,), {}),
+            OptRelation("C", 100, (2,), {}),
+        ]
+        config = optimize_dimensions(dims, relations, 7)
+        assert config.machines_used > 1
+
+    def test_proportional_sizes_for_random_dims(self):
+        """Zhang et al.: optimal random hypercube has |Ri|/pi equal."""
+        dims = [random_dim("~A", ("A", "*")), random_dim("~B", ("B", "*"))]
+        relations = [
+            OptRelation("A", 400, (0,), {}),
+            OptRelation("B", 100, (1,), {}),
+        ]
+        config = optimize_dimensions(dims, relations, 64)
+        assert config.sizes == (16, 4)
+
+    def test_small_relation_broadcast(self):
+        """A tiny relation gets dimension size 1 (broadcast)."""
+        dims = [
+            hash_dim("y", ("R", "y"), ("S", "y")),
+            hash_dim("z", ("S", "z"), ("T", "z")),
+        ]
+        relations = [
+            OptRelation("R", 1000, (0,), {}),
+            OptRelation("S", 1000, (0, 1), {}),
+            OptRelation("T", 1, (1,), {}),
+        ]
+        config = optimize_dimensions(dims, relations, 16)
+        assert config.size_of("z") == 1
+        assert config.size_of("y") == 16
+
+    def test_relation_without_dims_is_replicated_everywhere(self):
+        dims = [hash_dim("y", ("R", "y"), ("S", "y"))]
+        relations = [
+            OptRelation("R", 100, (0,), {}),
+            OptRelation("S", 100, (0,), {}),
+            OptRelation("U", 10, (), {}),
+        ]
+        config = optimize_dimensions(dims, relations, 8)
+        # U contributes its full size to every machine
+        assert config.max_load >= 10 + 200 / 8
+
+    def test_no_dims_degenerates_to_sequential(self):
+        config = optimize_dimensions([], [OptRelation("R", 50, (), {})], 8)
+        assert config.machines_used == 1
+        assert config.max_load == 50
+
+    def test_skew_adjustment_raises_hash_load(self):
+        dims = [hash_dim("k", ("R", "k"), ("S", "k"))]
+        base = [
+            OptRelation("R", 1000, (0,), {}),
+            OptRelation("S", 1000, (0,), {}),
+        ]
+        skewed = [
+            OptRelation("R", 1000, (0,), {0: 0.5}),
+            OptRelation("S", 1000, (0,), {}),
+        ]
+        uniform = optimize_dimensions(dims, base, 8)
+        adjusted = optimize_dimensions(dims, skewed, 8)
+        assert adjusted.max_load > uniform.max_load
+        # (L - Lmf)/p + Lmf with p=8: 500/8 + 500 = 562.5, plus S's 125
+        assert adjusted.max_load == pytest.approx(562.5 + 125)
+
+    def test_skew_aware_flag_disables_adjustment(self):
+        dims = [hash_dim("k", ("R", "k"), ("S", "k"))]
+        skewed = [OptRelation("R", 1000, (0,), {0: 0.9})]
+        config = optimize_dimensions(dims, skewed, 8, skew_aware=False)
+        assert config.max_load == pytest.approx(125)
+
+    def test_rejects_nonpositive_machines(self):
+        with pytest.raises(ValueError):
+            optimize_dimensions([], [], 0)
+
+
+class TestOptRelationLoad:
+    def test_uniform_load(self):
+        rel = OptRelation("R", 120, (0, 1), {})
+        assert rel.load((3, 4)) == 10
+
+    def test_communication(self):
+        rel = OptRelation("R", 10, (0,), {})
+        # replicated over dims 1 and 2 of sizes 4, 5
+        assert rel.communication((3, 4, 5)) == 10 * 20
+
+    def test_skew_adjusted_load_never_below_uniform(self):
+        rel = OptRelation("R", 100, (0,), {0: 0.3})
+        assert rel.load((10,)) >= 100 / 10
+
+
+class TestHypercubeConfig:
+    def test_machines_used_and_avg_load(self):
+        dims = (hash_dim("y", ("R", "y")),)
+        config = HypercubeConfig(dims, (4,), 8, max_load=25.0,
+                                 total_communication=100.0)
+        assert config.machines_used == 4
+        assert config.avg_load == 25.0
+        assert config.skew_degree == 1.0
+
+    def test_size_of_unknown_raises(self):
+        config = HypercubeConfig((), (), 1, 0.0, 0.0)
+        with pytest.raises(KeyError):
+            config.size_of("y")
+
+    def test_describe_mentions_dimensions(self):
+        dims = (hash_dim("y", ("R", "y")),)
+        config = HypercubeConfig(dims, (4,), 8, 25.0, 100.0)
+        assert "y[hash]=4" in config.describe()

@@ -1,0 +1,138 @@
+"""Tests for on-the-fly join indexes: HashIndex, SortedIndex, Treap."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.joins.indexes import HashIndex, SortedIndex, Treap
+
+
+class TestHashIndex:
+    def test_insert_lookup(self):
+        index = HashIndex()
+        index.insert(5, ("a",))
+        index.insert(5, ("b",))
+        assert sorted(dict(index.lookup(5))) == [("a",), ("b",)]
+
+    def test_multiplicity(self):
+        index = HashIndex()
+        index.insert(1, ("x",))
+        index.insert(1, ("x",))
+        assert dict(index.lookup(1)) == {("x",): 2}
+        assert len(index) == 2
+
+    def test_delete_one_occurrence(self):
+        index = HashIndex()
+        index.insert(1, ("x",))
+        index.insert(1, ("x",))
+        assert index.delete(1, ("x",))
+        assert dict(index.lookup(1)) == {("x",): 1}
+
+    def test_delete_missing_returns_false(self):
+        index = HashIndex()
+        assert not index.delete(9, ("nope",))
+
+    def test_delete_cleans_empty_buckets(self):
+        index = HashIndex()
+        index.insert(1, ("x",))
+        index.delete(1, ("x",))
+        assert list(index.lookup(1)) == []
+        assert list(index.keys()) == []
+
+
+class TestSortedIndex:
+    def test_range_inclusive(self):
+        index = SortedIndex()
+        for key in (1, 3, 5, 7):
+            index.insert(key, (key,))
+        assert list(index.range(3, 5)) == [(3,), (5,)]
+
+    def test_range_exclusive_bounds(self):
+        index = SortedIndex()
+        for key in (1, 3, 5, 7):
+            index.insert(key, (key,))
+        assert list(index.range(3, 7, include_low=False, include_high=False)) == [(5,)]
+
+    def test_open_ranges(self):
+        index = SortedIndex()
+        for key in (1, 3, 5):
+            index.insert(key, (key,))
+        assert list(index.range(None, 3)) == [(1,), (3,)]
+        assert list(index.range(3, None)) == [(3,), (5,)]
+        assert len(list(index.range(None, None))) == 3
+
+    def test_duplicate_keys(self):
+        index = SortedIndex()
+        index.insert(2, ("a",))
+        index.insert(2, ("b",))
+        assert len(list(index.range(2, 2))) == 2
+
+    def test_delete(self):
+        index = SortedIndex()
+        index.insert(2, ("a",))
+        index.insert(2, ("b",))
+        assert index.delete(2, ("a",))
+        assert list(index.range(2, 2)) == [("b",)]
+        assert not index.delete(2, ("zzz",))
+
+
+class TestTreap:
+    def test_matches_sorted_index_on_random_ops(self):
+        rng = random.Random(42)
+        treap = Treap(seed=1)
+        sorted_index = SortedIndex()
+        live = []
+        for _ in range(600):
+            action = rng.random()
+            if action < 0.7 or not live:
+                key = rng.randrange(60)
+                row = (key, rng.randrange(5))
+                treap.insert(key, row)
+                sorted_index.insert(key, row)
+                live.append((key, row))
+            else:
+                key, row = live.pop(rng.randrange(len(live)))
+                assert treap.delete(key, row) == sorted_index.delete(key, row)
+        for low, high in [(5, 20), (None, 30), (25, None), (None, None), (10, 10)]:
+            assert sorted(treap.range(low, high)) == sorted(sorted_index.range(low, high))
+
+    def test_balanced_depth(self):
+        treap = Treap(seed=0)
+        for i in range(2048):  # sorted insertion: worst case for plain BSTs
+            treap.insert(i, (i,))
+
+        def depth(node):
+            if node is None:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        assert depth(treap._root) < 60  # ~4x log2(2048), very safe bound
+
+    def test_delete_missing(self):
+        treap = Treap()
+        treap.insert(1, ("a",))
+        assert not treap.delete(1, ("b",))
+        assert not treap.delete(9, ("a",))
+
+    def test_multiplicity(self):
+        treap = Treap()
+        treap.insert(1, ("a",))
+        treap.insert(1, ("a",))
+        assert list(treap.range(1, 1)) == [("a",), ("a",)]
+        treap.delete(1, ("a",))
+        assert list(treap.range(1, 1)) == [("a",)]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        keys=st.lists(st.integers(min_value=-50, max_value=50), max_size=80),
+        low=st.integers(min_value=-60, max_value=60),
+        span=st.integers(min_value=0, max_value=40),
+    )
+    def test_range_property(self, keys, low, span):
+        high = low + span
+        treap = Treap(seed=3)
+        for key in keys:
+            treap.insert(key, (key,))
+        expected = sorted((k,) for k in keys if low <= k <= high)
+        assert sorted(treap.range(low, high)) == expected

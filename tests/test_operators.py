@@ -1,0 +1,123 @@
+"""Tests for engine operators: selection, projection, aggregation."""
+
+import pytest
+
+from repro.core.expressions import col, lit
+from repro.core.schema import Schema
+from repro.engine.operators import (
+    AggregateSpec,
+    Aggregation,
+    Projection,
+    Selection,
+    avg,
+    count,
+    total,
+)
+
+SCHEMA = Schema.of("k:str", "v", "w:float")
+
+
+class TestSelection:
+    def test_filters_and_counts(self):
+        selection = Selection(col("v").gt(5), SCHEMA)
+        assert selection.apply(("a", 10, 1.0)) == ("a", 10, 1.0)
+        assert selection.apply(("a", 3, 1.0)) is None
+        assert selection.seen == 2
+        assert selection.passed == 1
+        assert selection.selectivity == 0.5
+
+    def test_cost_class_recorded(self):
+        selection = Selection(col("v").gt(5), SCHEMA, cost_class="date")
+        assert selection.cost_class == "date"
+
+    def test_selectivity_with_no_input(self):
+        assert Selection(col("v").gt(5), SCHEMA).selectivity == 1.0
+
+
+class TestProjection:
+    def test_projects_expressions(self):
+        projection = Projection([col("k"), col("v") * lit(2)], SCHEMA,
+                                names=["k", "v2"])
+        assert projection.apply(("a", 3, 0.0)) == ("a", 6)
+        assert projection.output_schema.names == ("k", "v2")
+
+    def test_names_length_validated(self):
+        with pytest.raises(ValueError):
+            Projection([col("k")], SCHEMA, names=["a", "b"])
+
+    def test_default_names(self):
+        projection = Projection([col("v")], SCHEMA)
+        assert projection.output_schema.names == ("expr0",)
+
+
+class TestAggregateSpec:
+    def test_helpers(self):
+        assert total(3).kind == "sum"
+        assert count().kind == "count"
+        assert avg(1).position == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AggregateSpec("median", 0)
+        with pytest.raises(ValueError):
+            AggregateSpec("sum")  # needs a position
+
+
+class TestAggregation:
+    def test_sum_count_avg(self):
+        agg = Aggregation([0], [count(), total(1), avg(1)])
+        agg.consume(("a", 10))
+        agg.consume(("a", 20))
+        agg.consume(("b", 5))
+        snapshot = agg.snapshot()
+        assert ("a", 2, 30, 15.0) in snapshot
+        assert ("b", 1, 5, 5.0) in snapshot
+
+    def test_consume_returns_running_value(self):
+        agg = Aggregation([0], [total(1)])
+        assert agg.consume(("a", 10)) == ("a", 10)
+        assert agg.consume(("a", 5)) == ("a", 15)
+
+    def test_count_stays_integer(self):
+        agg = Aggregation([0], [count()])
+        updated = agg.consume(("a", 1))
+        assert updated == ("a", 1)
+        assert isinstance(updated[1], int)
+
+    def test_retraction_sign(self):
+        agg = Aggregation([0], [count(), total(1)])
+        agg.consume(("a", 10))
+        agg.consume(("a", 20))
+        agg.consume(("a", 10), sign=-1)
+        assert agg.snapshot() == [("a", 1, 20)]
+
+    def test_group_vanishes_at_zero(self):
+        agg = Aggregation([0], [count()])
+        agg.consume(("a", 1))
+        agg.consume(("a", 1), sign=-1)
+        assert agg.snapshot() == []
+        assert agg.group_count == 0
+
+    def test_no_grouping(self):
+        agg = Aggregation([], [count(), total(0)])
+        agg.consume((2,))
+        agg.consume((3,))
+        assert agg.snapshot() == [(2, 5)]
+
+    def test_multi_column_group(self):
+        agg = Aggregation([0, 1], [count()])
+        agg.consume(("a", "x", 1))
+        agg.consume(("a", "y", 1))
+        assert agg.group_count == 2
+
+    def test_current(self):
+        agg = Aggregation([0], [total(1)])
+        agg.consume(("a", 7))
+        assert agg.current(("a",)) == ("a", 7)
+        assert agg.current(("zzz",)) is None
+
+    def test_reset(self):
+        agg = Aggregation([0], [count()])
+        agg.consume(("a", 1))
+        agg.reset()
+        assert agg.snapshot() == []

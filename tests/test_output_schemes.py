@@ -1,0 +1,50 @@
+"""Tests for output schemes (common subexpression elimination)."""
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.engine.output import compute_output_scheme, remap_positions
+
+
+class TestComputeOutputScheme:
+    def test_selects_needed_positions(self):
+        schema = Schema.of("R.x", "R.y", "S.y", "S.z")
+        positions, projected = compute_output_scheme(schema, ["S.z", "R.x"])
+        assert positions == [3, 0]
+        assert projected.names == ("S.z", "R.x")
+
+    def test_duplicates_collapsed(self):
+        schema = Schema.of("a", "b")
+        positions, projected = compute_output_scheme(schema, ["b", "b", "a"])
+        assert positions == [1, 0]
+        assert projected.names == ("b", "a")
+
+    def test_unknown_column_raises(self):
+        schema = Schema.of("a")
+        with pytest.raises(KeyError):
+            compute_output_scheme(schema, ["ghost"])
+
+    def test_empty_needed_is_maximal_reduction(self):
+        """COUNT(*) with no grouping ships empty tuples."""
+        schema = Schema.of("a", "b")
+        positions, projected = compute_output_scheme(schema, [])
+        assert positions == []
+        assert projected.arity == 0
+
+    def test_types_preserved(self):
+        schema = Schema.of("a:str", "b:float")
+        _positions, projected = compute_output_scheme(schema, ["b"])
+        assert projected.field("b").type == "float"
+
+
+class TestRemapPositions:
+    def test_remaps_to_projected_row(self):
+        # full row positions [3, 0] were kept, in that order
+        assert remap_positions([0, 3], [3, 0]) == [1, 0]
+
+    def test_projected_away_position_rejected(self):
+        with pytest.raises(ValueError, match="projected away"):
+            remap_positions([2], [3, 0])
+
+    def test_identity(self):
+        assert remap_positions([0, 1, 2], [0, 1, 2]) == [0, 1, 2]

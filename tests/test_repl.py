@@ -1,0 +1,125 @@
+"""Tests for the interactive shell (the paper's interactive interface)."""
+
+import pytest
+
+from repro.core.optimizer import OptimizerOptions
+from repro.datasets import TPCHGenerator
+from repro.sql.catalog import SqlSession
+from repro.sql.repl import SquallShell
+
+
+@pytest.fixture
+def shell():
+    tables = TPCHGenerator(scale=0.2, seed=4).generate(["customer", "orders"])
+    session = SqlSession(options=OptimizerOptions(machines=2))
+    for relation in tables.values():
+        session.register(relation)
+    return SquallShell(session)
+
+
+class TestMetaCommands:
+    def test_empty_line(self, shell):
+        assert shell.handle_line("   ") == ""
+
+    def test_tables(self, shell):
+        output = shell.handle_line("\\tables")
+        assert "customer" in output
+        assert "orders" in output
+
+    def test_tables_empty_catalog(self):
+        assert "no relations" in SquallShell().handle_line("\\tables")
+
+    def test_schema(self, shell):
+        output = shell.handle_line("\\schema customer")
+        assert "custkey" in output
+        assert "mktsegment" in output
+
+    def test_schema_unknown_table(self, shell):
+        assert "error" in shell.handle_line("\\schema warehouse")
+
+    def test_schema_usage(self, shell):
+        assert "usage" in shell.handle_line("\\schema")
+
+    def test_help(self, shell):
+        output = shell.handle_line("\\help")
+        assert "\\explain" in output
+
+    def test_quit(self, shell):
+        assert shell.handle_line("\\quit") == "bye"
+        assert shell.finished
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in shell.handle_line("\\frobnicate")
+
+    def test_explain(self, shell):
+        output = shell.handle_line(
+            "\\explain SELECT COUNT(*) FROM customer, orders "
+            "WHERE customer.custkey = orders.custkey"
+        )
+        assert "LogicalPlan" in output
+        assert "scheme=" in output
+
+    def test_explain_bad_sql(self, shell):
+        assert "error" in shell.handle_line("\\explain SELECT FROM")
+
+    def test_explain_usage(self, shell):
+        assert "usage" in shell.handle_line("\\explain")
+
+
+class TestSetOption:
+    def test_set_machines(self, shell):
+        assert shell.handle_line("\\set machines 6") == "machines = 6"
+        assert shell.session.options.machines == 6
+
+    def test_set_machines_not_integer(self, shell):
+        assert "integer" in shell.handle_line("\\set machines many")
+
+    def test_set_scheme(self, shell):
+        assert shell.handle_line("\\set scheme random") == "scheme = random"
+        assert shell.session.options.scheme == "random"
+
+    def test_set_scheme_invalid(self, shell):
+        assert "must be" in shell.handle_line("\\set scheme quantum")
+
+    def test_set_mode(self, shell):
+        assert shell.handle_line("\\set mode pipeline") == "mode = pipeline"
+
+    def test_set_local(self, shell):
+        assert shell.handle_line("\\set local traditional") == "local = traditional"
+
+    def test_set_usage(self, shell):
+        assert "usage" in shell.handle_line("\\set machines")
+
+    def test_set_unknown_option(self, shell):
+        assert "unknown option" in shell.handle_line("\\set color blue")
+
+
+class TestSqlExecution:
+    def test_query_renders_rows_and_monitors(self, shell):
+        output = shell.handle_line(
+            "SELECT customer.mktsegment, COUNT(*) FROM customer, orders "
+            "WHERE customer.custkey = orders.custkey "
+            "GROUP BY customer.mktsegment"
+        )
+        assert "rows" in output
+        assert "hypercube" in output  # partitioner info in the footer
+
+    def test_query_error_reported(self, shell):
+        output = shell.handle_line("SELECT COUNT(*) FROM nowhere")
+        assert output.startswith("error:")
+
+    def test_row_limit(self, shell):
+        shell.max_rows = 2
+        output = shell.handle_line(
+            "SELECT customer.custkey, COUNT(*) FROM customer, orders "
+            "WHERE customer.custkey = orders.custkey GROUP BY customer.custkey"
+        )
+        assert "rows total" in output
+
+    def test_options_affect_execution(self, shell):
+        shell.handle_line("\\set scheme random")
+        output = shell.handle_line(
+            "SELECT COUNT(*) FROM customer, orders "
+            "WHERE customer.custkey = orders.custkey"
+        )
+        assert "~customer" in output  # random-hypercube quasi dimensions

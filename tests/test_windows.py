@@ -1,0 +1,169 @@
+"""Tests for window semantics on top of the full-history engine."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo
+from repro.core.schema import Schema
+from repro.engine.operators import Aggregation, count, total
+from repro.engine.windows import (
+    WindowedAggregation,
+    WindowedJoinState,
+    WindowSpec,
+)
+from repro.joins import DBToasterJoin, TraditionalJoin
+
+
+def two_way_spec():
+    return JoinSpec(
+        [
+            RelationInfo("A", Schema.of("ts", "k"), 100),
+            RelationInfo("B", Schema.of("ts", "k"), 100),
+        ],
+        [EquiCondition(("A", "k"), ("B", "k"))],
+    )
+
+
+def windowed_reference(stream, window, spec):
+    """Naive windowed join: pair (a, b) joins iff both are within the
+    window at the time the later one arrives."""
+    out = Counter()
+    seen = []
+    arrivals = 0
+    current_window = None
+    stored = []
+    for rel, row in stream:
+        ts = window.timestamp(rel, row, arrivals)
+        arrivals += 1
+        if window.kind == "tumbling":
+            wid = ts // window.size
+            if current_window is None:
+                current_window = wid
+            elif wid != current_window:
+                stored = []
+                current_window = wid
+        else:
+            horizon = ts - window.size
+            stored = [(t, r, w) for (t, r, w) in stored if t > horizon]
+        for _t, other_rel, other_row in stored:
+            if other_rel != rel:
+                a_row = row if rel == "A" else other_row
+                b_row = other_row if rel == "A" else row
+                if a_row[1] == b_row[1]:
+                    out[a_row + b_row] += 1
+        stored.append((ts, rel, row))
+    return out
+
+
+def make_stream(n=60, k_domain=4, seed=0):
+    import random
+    rng = random.Random(seed)
+    stream = []
+    for ts in range(n):
+        rel = "A" if rng.random() < 0.5 else "B"
+        stream.append((rel, (ts, rng.randrange(k_domain))))
+    return stream
+
+
+class TestWindowSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowSpec("hopping", 10)
+        with pytest.raises(ValueError):
+            WindowSpec.tumbling(0)
+
+    def test_timestamp_arrival_order(self):
+        window = WindowSpec.sliding(5)
+        assert window.timestamp("A", ("x",), 17) == 17
+
+    def test_timestamp_explicit_column(self):
+        window = WindowSpec.sliding(5, ts_positions={"A": 0})
+        assert window.timestamp("A", (99, "x"), 17) == 99
+
+
+@pytest.mark.parametrize("join_cls", [DBToasterJoin, TraditionalJoin])
+class TestWindowedJoin:
+    def test_tumbling_only_joins_within_window(self, join_cls):
+        spec = two_way_spec()
+        window = WindowSpec.tumbling(10, ts_positions={"A": 0, "B": 0})
+        state = WindowedJoinState(join_cls(spec), window)
+        stream = make_stream(seed=1)
+        produced = Counter()
+        for rel, row in stream:
+            for out in state.insert(rel, row):
+                produced[out] += 1
+        assert produced == windowed_reference(stream, window, spec)
+        assert state.expired_tuples > 0
+
+    def test_sliding_retracts_old_tuples(self, join_cls):
+        spec = two_way_spec()
+        window = WindowSpec.sliding(8, ts_positions={"A": 0, "B": 0})
+        state = WindowedJoinState(join_cls(spec), window)
+        stream = make_stream(seed=2)
+        produced = Counter()
+        for rel, row in stream:
+            for out in state.insert(rel, row):
+                produced[out] += 1
+        assert produced == windowed_reference(stream, window, spec)
+
+    def test_sliding_state_stays_bounded(self, join_cls):
+        spec = two_way_spec()
+        window = WindowSpec.sliding(5, ts_positions={"A": 0, "B": 0})
+        state = WindowedJoinState(join_cls(spec), window)
+        for rel, row in make_stream(n=200, seed=3):
+            state.insert(rel, row)
+        # at most window-size base tuples retained (plus views over them)
+        base_tuples = sum(
+            1 for _ in range(0)
+        )
+        assert len(state._stored) <= 6
+
+    def test_arrival_order_windows(self, join_cls):
+        """Without ts columns the global arrival index is the clock."""
+        spec = two_way_spec()
+        window = WindowSpec.sliding(4)
+        state = WindowedJoinState(join_cls(spec), window)
+        stream = make_stream(seed=4, n=40)
+        produced = Counter()
+        for rel, row in stream:
+            for out in state.insert(rel, row):
+                produced[out] += 1
+        assert produced == windowed_reference(stream, window, spec)
+
+
+class TestWindowedAggregation:
+    def make(self, size=10):
+        window = WindowSpec.tumbling(size, ts_positions={"": 0})
+        factory = lambda: Aggregation([1], [count(), total(2)])
+        return WindowedAggregation(factory, window)
+
+    def test_emits_on_window_close(self):
+        wagg = self.make(size=10)
+        assert wagg.consume((1, "a", 5)) is None
+        assert wagg.consume((5, "a", 5)) is None
+        closed = wagg.consume((12, "b", 1))
+        assert closed is not None
+        window_id, rows = closed
+        assert window_id == 0
+        assert rows == [("a", 2, 10)]
+
+    def test_flush_closes_final_window(self):
+        wagg = self.make(size=10)
+        wagg.consume((1, "a", 5))
+        window_id, rows = wagg.flush()
+        assert window_id == 0
+        assert rows == [("a", 1, 5)]
+        assert wagg.flush() is None
+
+    def test_sliding_rejected(self):
+        window = WindowSpec.sliding(10)
+        with pytest.raises(ValueError):
+            WindowedAggregation(lambda: Aggregation([0], [count()]), window)
+
+    def test_closed_windows_recorded(self):
+        wagg = self.make(size=5)
+        for ts in range(0, 20):
+            wagg.consume((ts, "k", 1))
+        wagg.flush()
+        assert len(wagg.closed_windows) == 4
