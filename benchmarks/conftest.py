@@ -144,7 +144,7 @@ def tpch9_results(tpch9_workload):
     Hash-Hypercube overflows it (the paper's 'Memory Overflow' bar) and its
     runtime is extrapolated from the tuples processed before the overflow.
     """
-    from harness import run_hyld_experiment, tpch9_partial_spec
+    from benchmarks.harness import run_hyld_experiment, tpch9_partial_spec
 
     results = {}
     for config_name, (tables, machines) in tpch9_workload.items():
@@ -161,7 +161,7 @@ def tpch9_results(tpch9_workload):
 @pytest.fixture(scope="session")
 def webanalytics_results(webanalytics_workload):
     """WebAnalytics (Figure 7 / Table 1) runs: 3 schemes, 40 machines."""
-    from harness import profiled_relation_info, run_hyld_experiment
+    from benchmarks.harness import profiled_relation_info, run_hyld_experiment
     from repro.core.predicates import EquiCondition, JoinSpec
 
     machines = 40

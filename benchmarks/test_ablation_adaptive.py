@@ -10,8 +10,8 @@ bounded migration cost, while the static square matrix overpays.
 
 import pytest
 
-from conftest import record_table
-from harness import fmt
+from benchmarks.conftest import record_table
+from benchmarks.harness import fmt
 
 from repro.partitioning.adaptive import AdaptiveOneBucket
 from repro.partitioning.two_way import OneBucket, choose_matrix

@@ -13,8 +13,8 @@ import random
 
 import pytest
 
-from conftest import record_table
-from harness import fmt, profiled_relation_info
+from benchmarks.conftest import record_table
+from benchmarks.harness import fmt, profiled_relation_info
 
 from repro.core.predicates import EquiCondition, JoinSpec
 from repro.core.schema import Relation, Schema

@@ -14,8 +14,8 @@ import random
 
 import pytest
 
-from conftest import record_table
-from harness import fmt, run_hyld_experiment, run_pipeline_experiment
+from benchmarks.conftest import record_table
+from benchmarks.harness import fmt, run_hyld_experiment, run_pipeline_experiment
 
 from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo
 from repro.core.schema import Schema

@@ -16,8 +16,8 @@ from collections import Counter
 
 import pytest
 
-from conftest import record_table
-from harness import fmt
+from benchmarks.conftest import record_table
+from benchmarks.harness import fmt
 
 from repro.core.predicates import BandCondition
 from repro.partitioning.ewh import EWHScheme

@@ -15,8 +15,8 @@ import datetime
 
 import pytest
 
-from conftest import record_table
-from harness import fmt
+from benchmarks.conftest import record_table
+from benchmarks.harness import fmt
 
 from repro.core.expressions import DateValue, col
 from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo

@@ -10,8 +10,8 @@ join never ships.
 
 import pytest
 
-from conftest import record_table
-from harness import fmt, interleave, run_hyld_experiment, run_pipeline_experiment
+from benchmarks.conftest import record_table
+from benchmarks.harness import fmt, interleave, run_hyld_experiment, run_pipeline_experiment
 
 from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo
 from repro.costmodel import CostModel

@@ -8,8 +8,8 @@ We reproduce the ordering and the overflow behaviour; runtimes are the
 calibrated cost model applied to measured loads/work.
 """
 
-from conftest import record_table
-from harness import fmt
+from benchmarks.conftest import record_table
+from benchmarks.harness import fmt
 
 
 def test_fig7_tpch9_partial(tpch9_results, benchmark):

@@ -10,8 +10,8 @@ measured ratios.
 
 import pytest
 
-from conftest import record_table
-from harness import (
+from benchmarks.conftest import record_table
+from benchmarks.harness import (
     fmt,
     profiled_relation_info,
     run_hyld_experiment,

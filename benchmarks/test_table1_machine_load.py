@@ -11,8 +11,8 @@ schemes.
 
 import pytest
 
-from conftest import record_table
-from harness import fmt
+from benchmarks.conftest import record_table
+from benchmarks.harness import fmt
 
 
 def test_table1_loads(tpch9_results, webanalytics_results, benchmark):

@@ -11,7 +11,7 @@ Hybrid's barely moves.
 
 import pytest
 
-from conftest import record_table
+from benchmarks.conftest import record_table
 
 
 def test_table2_replication_factor(tpch9_results, benchmark):

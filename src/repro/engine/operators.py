@@ -38,6 +38,14 @@ class Selection:
             return row
         return None
 
+    def apply_batch(self, rows: Sequence[tuple]) -> List[tuple]:
+        """Filter a whole batch in one pass (counters updated in bulk)."""
+        fn = self._fn
+        kept = [row for row in rows if fn(row)]
+        self.seen += len(rows)
+        self.passed += len(kept)
+        return kept
+
     @property
     def selectivity(self) -> float:
         return self.passed / self.seen if self.seen else 1.0
@@ -63,6 +71,14 @@ class Projection:
 
     def apply(self, row: tuple) -> tuple:
         return tuple(fn(row) for fn in self._fns)
+
+    def apply_batch(self, rows: Sequence[tuple]) -> List[tuple]:
+        """Project a whole batch in one pass."""
+        fns = self._fns
+        if len(fns) == 1:
+            fn = fns[0]
+            return [(fn(row),) for row in rows]
+        return [tuple(fn(row) for fn in fns) for row in rows]
 
 
 @dataclass(frozen=True)
@@ -137,6 +153,42 @@ class Aggregation:
             del self._groups[key]
             return key + tuple(0 for _ in self.aggregates)
         return key + self._values(state)
+
+    def consume_batch(self, rows: Sequence[tuple], sign: int = 1,
+                      collect: bool = True) -> Optional[List[tuple]]:
+        """Apply a whole batch of input rows in one pass.
+
+        With ``collect=True`` returns the group's current output row after
+        each input (what per-row ``consume`` returns -- online semantics);
+        with ``collect=False`` state is updated without materialising the
+        per-row outputs, which is what snapshot-mode consumers want.
+        """
+        outputs: Optional[List[tuple]] = [] if collect else None
+        groups = self._groups
+        positions = self.group_positions
+        aggregates = self.aggregates
+        n_aggs = len(aggregates)
+        for row in rows:
+            key = tuple(row[p] for p in positions)
+            state = groups.get(key)
+            if state is None:
+                state = _GroupState(n_aggs)
+                groups[key] = state
+            state.counts += sign
+            sums = state.sums
+            for i, agg in enumerate(aggregates):
+                if agg.kind == "count":
+                    sums[i] += sign
+                else:
+                    sums[i] += sign * row[agg.position]
+            if state.counts == 0:
+                del groups[key]
+                if collect:
+                    outputs.append(key + (0,) * n_aggs)
+            elif collect:
+                outputs.append(key + self._values(state))
+        self.consumed += len(rows)
+        return outputs
 
     def _values(self, state: _GroupState) -> tuple:
         values = []

@@ -26,7 +26,7 @@ from repro.partitioning.base import Partitioner
 from repro.storm.cluster import LocalCluster
 from repro.storm.groupings import FieldsGrouping, HypercubeGrouping, KeyMappedGrouping
 from repro.storm.metrics import TopologyMetrics
-from repro.storm.topology import Bolt, Spout, TopologyBuilder
+from repro.storm.topology import Bolt, Spout, Topology, TopologyBuilder
 from repro.util import round_robin_assignment
 
 RETRACT_SUFFIX = ":retract"
@@ -70,6 +70,38 @@ class SourceSpout(Spout):
             return (self.component.name, row)
         return None
 
+    def next_batch(self, max_rows: int):
+        """Read a stripe of up to ``max_rows`` *passing* tuples in one pass.
+
+        The raw stripe is scanned with the selection predicate inlined and
+        the projection applied batch-at-a-time, so per-tuple Python call
+        overhead is paid once per batch instead of once per row.
+        """
+        rows = self.rows
+        n = len(rows)
+        position = self._position
+        step = self._step
+        stream = self.component.name
+        selection = self.selection
+        select = selection._fn if selection is not None else None
+        out: list = []
+        read = 0
+        while position < n and len(out) < max_rows:
+            row = rows[position]
+            position += step
+            read += 1
+            if select is not None and not select(row):
+                continue
+            out.append(row)
+        self._position = position
+        self.read += read
+        if selection is not None:
+            selection.seen += read
+            selection.passed += len(out)
+        if self.projection is not None:
+            out = self.projection.apply_batch(out)
+        return [(stream, row) for row in out]
+
 
 class JoinBolt(Bolt):
     """One joiner task: a local join (optionally windowed) plus output scheme."""
@@ -108,6 +140,26 @@ class JoinBolt(Bolt):
         self.emitted_outputs += len(delta)
         return [(self.component.name, self._project(row)) for row in delta]
 
+    def execute_batch(self, source: str, stream: str, rows):
+        if self.state is not self._local:
+            # windowed joins expire per arrival -- keep per-tuple semantics
+            return Bolt.execute_batch(self, source, stream, rows)
+        positions = self.output_positions
+        if stream.endswith(RETRACT_SUFFIX):
+            rel_name = stream[: -len(RETRACT_SUFFIX)]
+            retracted = self._local.delete_batch(rel_name, rows)
+            out_stream = self.component.name + RETRACT_SUFFIX
+            if positions is None:
+                return [(out_stream, row) for row in retracted]
+            return [(out_stream, tuple(row[p] for p in positions))
+                    for row in retracted]
+        delta = self._local.insert_batch(stream, rows)
+        self.emitted_outputs += len(delta)
+        out_stream = self.component.name
+        if positions is None:
+            return [(out_stream, row) for row in delta]
+        return [(out_stream, tuple(row[p] for p in positions)) for row in delta]
+
     @property
     def work(self) -> int:
         return self._local.work
@@ -140,6 +192,18 @@ class AggBolt(Bolt):
             return [(self.component.name, updated)]
         return []
 
+    def execute_batch(self, source: str, stream: str, rows):
+        if self.window_state is not None:
+            # windowed aggregation closes windows per arrival
+            return Bolt.execute_batch(self, source, stream, rows)
+        sign = -1 if stream.endswith(RETRACT_SUFFIX) else 1
+        if self.component.online:
+            name = self.component.name
+            updated = self.aggregation.consume_batch(rows, sign)
+            return [(name, row) for row in updated]
+        self.aggregation.consume_batch(rows, sign, collect=False)
+        return []
+
     def finish(self):
         if self.window_state is not None:
             closed = self.window_state.flush()
@@ -168,6 +232,18 @@ class SinkBolt(Bolt):
         self.store.append(values)
         return []
 
+    def execute_batch(self, source: str, stream: str, rows):
+        if stream.endswith(RETRACT_SUFFIX):
+            remove = self.store.remove
+            for row in rows:
+                try:
+                    remove(row)
+                except ValueError:
+                    pass
+            return []
+        self.store.extend(rows)
+        return []
+
 
 @dataclass
 class RunResult:
@@ -184,6 +260,8 @@ class RunResult:
     join_work: Dict[str, List[int]] = field(default_factory=dict)
     join_state: Dict[str, List[int]] = field(default_factory=dict)
     partitioner_info: Dict[str, str] = field(default_factory=dict)
+    #: the compiled topology (edge structure for replication-factor lookups)
+    topology: Optional[Topology] = None
 
     @property
     def query_input(self) -> int:
@@ -202,15 +280,26 @@ class RunResult:
         return self.metrics.skew_degree(component)
 
     def replication_factor(self, component: str) -> float:
-        upstream = [
-            edge.source
-            for edge in self._topology.in_edges(component)  # type: ignore[attr-defined]
-        ]
+        if self.topology is None:
+            raise ValueError(
+                "replication_factor needs the compiled topology; this "
+                "RunResult was built without one"
+            )
+        upstream = [edge.source for edge in self.topology.in_edges(component)]
         return self.metrics.replication_factor(component, upstream)
 
 
-def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None) -> RunResult:
-    """Compile a physical plan to a topology and execute it locally."""
+def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
+             batch_size: int = 1) -> RunResult:
+    """Compile a physical plan to a topology and execute it locally.
+
+    ``batch_size`` is the number of tuples pulled from each spout per
+    round; downstream micro-batches follow from it but are not re-chunked
+    (a join delta larger than ``batch_size`` travels as one batch).  The
+    default of 1 reproduces the per-tuple engine's interleaving exactly;
+    larger values amortize dispatch overhead without changing per-tuple
+    results (the final result multiset and all per-component totals are
+    identical)."""
     plan.validate()
     builder = TopologyBuilder()
     spouts: Dict[str, List[SourceSpout]] = {}
@@ -292,7 +381,7 @@ def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None) -> RunResult:
 
     topology = builder.build()
     cluster = LocalCluster(topology)
-    metrics = cluster.run(max_tuples=max_tuples)
+    metrics = cluster.run(max_tuples=max_tuples, batch_size=batch_size)
 
     reads = {
         name: sum(spout.read for spout in instances)
@@ -324,6 +413,6 @@ def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None) -> RunResult:
             name: partitioner.describe()
             for name, partitioner in partitioners.items()
         },
+        topology=topology,
     )
-    result._topology = topology  # for replication_factor lookups
     return result

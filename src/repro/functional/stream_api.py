@@ -226,8 +226,9 @@ def _execute(context: QueryContext, logical: LogicalPlan,
              overrides: dict) -> RunResult:
     import dataclasses
 
+    batch_size = overrides.pop("batch_size", 1)
     options = context.options
     if overrides:
         options = dataclasses.replace(options, **overrides)
     physical = Optimizer(context.catalog, options).compile(logical)
-    return run_plan(physical)
+    return run_plan(physical, batch_size=batch_size)

@@ -82,6 +82,30 @@ class LocalJoin:
     def delete(self, rel_name: str, row: tuple) -> List[tuple]:
         raise NotImplementedError
 
+    def insert_batch(self, rel_name: str, rows: Sequence[tuple]) -> List[tuple]:
+        """Insert a micro-batch of ``rel_name`` rows; returns the
+        concatenated per-tuple deltas.
+
+        Per-tuple semantics are preserved: each row's delta is computed
+        against the state including every earlier row of the same batch.
+        The default loops ``insert``; subclasses override it to amortize
+        per-call setup (probe plans, index key extraction) over the batch.
+        """
+        output: List[tuple] = []
+        insert = self.insert
+        for row in rows:
+            output.extend(insert(rel_name, row))
+        return output
+
+    def delete_batch(self, rel_name: str, rows: Sequence[tuple]) -> List[tuple]:
+        """Delete a micro-batch of ``rel_name`` rows; returns the
+        concatenated per-tuple retraction deltas."""
+        output: List[tuple] = []
+        delete = self.delete
+        for row in rows:
+            output.extend(delete(rel_name, row))
+        return output
+
     def state_size(self) -> int:
         """Stored entries (base tuples + materialised views), for the
         memory-overflow accounting of the paper's Figure 7."""

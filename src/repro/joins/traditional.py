@@ -24,7 +24,12 @@ from repro.joins.indexes import HashIndex, SortedIndex
 
 
 class _RelationStore:
-    """Stored tuples of one relation plus its on-the-fly indexes."""
+    """Stored tuples of one relation plus its on-the-fly indexes.
+
+    Index key positions are resolved once at construction so that inserts
+    -- the hot path of both the per-tuple and the batch engine -- extract
+    keys without per-row schema lookups.
+    """
 
     def __init__(self, hash_attrs: Iterable[str], sorted_attrs: Iterable[str], schema):
         self.schema = schema
@@ -32,14 +37,17 @@ class _RelationStore:
         self.count = 0
         self.hash_indexes = {attr: HashIndex() for attr in hash_attrs}
         self.sorted_indexes = {attr: SortedIndex() for attr in sorted_attrs}
+        self._indexed = [
+            (schema.index_of(attr), index)
+            for attr, index in list(self.hash_indexes.items())
+            + list(self.sorted_indexes.items())
+        ]
 
     def insert(self, row: tuple):
         self.rows[row] = self.rows.get(row, 0) + 1
         self.count += 1
-        for attr, index in self.hash_indexes.items():
-            index.insert(row[self.schema.index_of(attr)], row)
-        for attr, index in self.sorted_indexes.items():
-            index.insert(row[self.schema.index_of(attr)], row)
+        for position, index in self._indexed:
+            index.insert(row[position], row)
 
     def delete(self, row: tuple) -> bool:
         if row not in self.rows:
@@ -48,10 +56,8 @@ class _RelationStore:
         if self.rows[row] == 0:
             del self.rows[row]
         self.count -= 1
-        for attr, index in self.hash_indexes.items():
-            index.delete(row[self.schema.index_of(attr)], row)
-        for attr, index in self.sorted_indexes.items():
-            index.delete(row[self.schema.index_of(attr)], row)
+        for position, index in self._indexed:
+            index.delete(row[position], row)
         return True
 
     def state_size(self) -> int:
@@ -205,11 +211,35 @@ class TraditionalJoin(LocalJoin):
         self.stores[rel_name].insert(row)
         return delta
 
+    def insert_batch(self, rel_name: str, rows: Sequence[tuple]) -> List[tuple]:
+        """Batch insert with the store resolved once for the whole batch;
+        deltas still cascade per tuple (each row joins against the state
+        including the batch's earlier rows)."""
+        store = self.stores[rel_name]
+        delta = self._delta
+        insert = store.insert
+        output: List[tuple] = []
+        for row in rows:
+            row = tuple(row)
+            output.extend(delta(rel_name, row))
+            insert(row)
+        return output
+
     def delete(self, rel_name: str, row: tuple) -> List[tuple]:
         row = tuple(row)
         if not self.stores[rel_name].delete(row):
             return []
         return self._delta(rel_name, row)
+
+    def delete_batch(self, rel_name: str, rows: Sequence[tuple]) -> List[tuple]:
+        store = self.stores[rel_name]
+        delta = self._delta
+        output: List[tuple] = []
+        for row in rows:
+            row = tuple(row)
+            if store.delete(row):
+                output.extend(delta(rel_name, row))
+        return output
 
     def state_size(self) -> int:
         return sum(store.state_size() for store in self.stores.values())

@@ -48,6 +48,6 @@ class SqlSession:
                          f"parallelism={agg.parallelism}")
         return "\n".join(parts)
 
-    def execute(self, sql: str) -> RunResult:
+    def execute(self, sql: str, batch_size: int = 1) -> RunResult:
         """Parse, optimize and run a query on the local cluster."""
-        return run_plan(self.plan(sql))
+        return run_plan(self.plan(sql), batch_size=batch_size)

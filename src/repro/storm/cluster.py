@@ -1,10 +1,19 @@
 """LocalCluster: executes a topology to completion in-process.
 
 Tuples are pulled from spouts round-robin (interleaving the sources the
-way concurrent spout tasks would) and pushed depth-first through the
-stream groupings -- per-tuple, pipelined processing with no micro-batch
-synchronisation, which is exactly Storm's execution model that the paper
-contrasts with Spark Streaming (section 8.1).
+way concurrent spout tasks would) and pushed through the stream groupings
+as ``(component, stream, rows)`` micro-batches on an explicit work stack
+-- no recursion, so arbitrarily deep topologies run without hitting the
+interpreter's recursion limit.
+
+``batch_size=1`` reproduces Storm's per-tuple, pipelined execution model
+exactly (the model the paper contrasts with Spark Streaming, section
+8.1): every emission is routed individually and the work stack unwinds in
+the same depth-first order as the seed engine's recursive dispatch.
+Larger batch sizes amortize dispatch, grouping, and metric bookkeeping
+over whole micro-batches; per-tuple *results* are unchanged (the engine's
+operators are order-insensitive up to the final multiset), only the
+interleaving differs.
 """
 
 from __future__ import annotations
@@ -12,7 +21,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.storm.metrics import TopologyMetrics
-from repro.storm.topology import Bolt, Spout, Topology, TopologyError
+from repro.storm.topology import Bolt, EdgeSpec, Spout, Topology, TopologyError
+
+#: one unit of pending work: rows of `stream` (emitted by `source`)
+#: awaiting execution at task `task` of component `target`
+_WorkItem = Tuple[str, int, str, str, List[tuple]]
 
 
 class LocalCluster:
@@ -37,6 +50,14 @@ class LocalCluster:
                 instances.append(instance)
             self._tasks[name] = instances
             self.metrics.register(name, spec.parallelism)
+        # static routing tables, computed once instead of per dispatch
+        self._out_edges: Dict[str, List[EdgeSpec]] = {
+            name: topology.out_edges(name) for name in topology.components
+        }
+        self._parallelism: Dict[str, int] = {
+            name: spec.parallelism for name, spec in topology.components.items()
+        }
+        self._coalesce = False
 
     def task(self, component: str, index: int):
         """Access a live task instance (tests, result extraction)."""
@@ -47,28 +68,45 @@ class LocalCluster:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, max_tuples: Optional[int] = None) -> TopologyMetrics:
-        """Drain all spouts, then flush bolts in topological order."""
+    def run(self, max_tuples: Optional[int] = None,
+            batch_size: int = 1) -> TopologyMetrics:
+        """Drain all spouts, then flush bolts in topological order.
+
+        ``batch_size`` is the number of tuples pulled from each spout per
+        round; 1 gives exact per-tuple interleaving.  Downstream batches
+        derive from the spout batches but are not re-chunked: a bolt
+        emitting more rows than ``batch_size`` forwards them as one batch.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._coalesce = batch_size > 1
         spouts: List[Tuple[str, int, Spout]] = []
         for name, spec in self.topology.components.items():
             if spec.is_spout:
                 for task_index, instance in enumerate(self._tasks[name]):
                     spouts.append((name, task_index, instance))
+        stack: List[_WorkItem] = []
         pulled = 0
         active = list(spouts)
         while active:
             still_active = []
             for name, task_index, spout in active:
-                emission = spout.next_tuple()
-                if emission is None:
+                limit = batch_size
+                if max_tuples is not None:
+                    limit = min(limit, max_tuples - pulled)
+                    if limit <= 0:
+                        return self.metrics
+                emissions = spout.next_batch(limit)
+                if not emissions:
                     continue
-                stream, values = emission
-                self.metrics.record_emit(name, task_index)
-                self._dispatch(name, stream, values)
-                pulled += 1
+                self.metrics.record_emit(name, task_index, len(emissions))
+                pulled += len(emissions)
+                self._push(stack, self._route_emissions(name, emissions))
+                self._drain(stack)
                 if max_tuples is not None and pulled >= max_tuples:
                     return self.metrics
-                still_active.append((name, task_index, spout))
+                if len(emissions) == limit:
+                    still_active.append((name, task_index, spout))
             active = still_active
         # flush: upstream components finish before downstream ones
         for name in self.topology.topological_order():
@@ -76,24 +114,72 @@ class LocalCluster:
             if spec.is_spout:
                 continue
             for task_index, bolt in enumerate(self._tasks[name]):
-                for stream, values in bolt.finish():
-                    self.metrics.record_emit(name, task_index)
-                    self._dispatch(name, stream, values)
+                emissions = bolt.finish()
+                if not emissions:
+                    continue
+                self.metrics.record_emit(name, task_index, len(emissions))
+                self._push(stack, self._route_emissions(name, emissions))
+                self._drain(stack)
         return self.metrics
 
-    def _dispatch(self, source: str, stream: str, values: tuple):
-        for edge in self.topology.out_edges(source):
+    # -- work queue --------------------------------------------------------
+
+    @staticmethod
+    def _push(stack: List[_WorkItem], items: List[_WorkItem]):
+        """Push routed work so the stack pops it in generation order."""
+        if items:
+            stack.extend(reversed(items))
+
+    def _drain(self, stack: List[_WorkItem]):
+        """Run pending work to exhaustion (iterative depth-first)."""
+        tasks = self._tasks
+        metrics = self.metrics
+        while stack:
+            target, task, source, stream, rows = stack.pop()
+            metrics.record_receive(source, target, task, len(rows))
+            bolt: Bolt = tasks[target][task]
+            emissions = bolt.execute_batch(source, stream, rows)
+            if emissions:
+                metrics.record_emit(target, task, len(emissions))
+                self._push(stack, self._route_emissions(target, emissions))
+
+    def _route_emissions(self, source: str,
+                         emissions: List[Tuple[str, tuple]]) -> List[_WorkItem]:
+        """Turn one component's emissions into routed work items.
+
+        In per-tuple mode every emission is routed individually (exactly
+        the seed engine's recursive dispatch order); in batch mode
+        consecutive emissions on the same stream are routed as one batch.
+        """
+        items: List[_WorkItem] = []
+        if not self._coalesce:
+            for stream, values in emissions:
+                self._route(items, source, stream, [values])
+            return items
+        i = 0
+        n = len(emissions)
+        while i < n:
+            stream = emissions[i][0]
+            j = i + 1
+            while j < n and emissions[j][0] == stream:
+                j += 1
+            self._route(items, source, stream,
+                        [values for _stream, values in emissions[i:j]])
+            i = j
+        return items
+
+    def _route(self, items: List[_WorkItem], source: str, stream: str,
+               rows: List[tuple]):
+        """Partition one stream batch across the subscribing edges' tasks."""
+        for edge in self._out_edges[source]:
             if not edge.subscribes(stream):
                 continue
-            parallelism = self.topology.components[edge.target].parallelism
-            for target_task in edge.grouping.targets(stream, values, parallelism):
+            parallelism = self._parallelism[edge.target]
+            for target_task, sub_rows in edge.grouping.targets_batch(
+                    stream, rows, parallelism):
                 if not 0 <= target_task < parallelism:
                     raise TopologyError(
                         f"grouping for {edge.source}->{edge.target} returned "
                         f"task {target_task} outside [0, {parallelism})"
                     )
-                self.metrics.record_receive(source, edge.target, target_task)
-                bolt: Bolt = self._tasks[edge.target][target_task]
-                for out_stream, out_values in bolt.execute(source, stream, values):
-                    self.metrics.record_emit(edge.target, target_task)
-                    self._dispatch(edge.target, out_stream, out_values)
+                items.append((edge.target, target_task, source, stream, sub_rows))

@@ -8,10 +8,23 @@ small predefined key domain to avoid hash imperfections (paper section 5).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.partitioning.base import Partitioner
 from repro.util import stable_hash
+
+#: ordered per-task sub-batches produced by :meth:`Grouping.targets_batch`
+TaskBatches = List[Tuple[int, List[tuple]]]
+
+
+def _bucket_append(buckets: Dict[int, List[tuple]], order: List[int],
+                   task: int, row: tuple):
+    bucket = buckets.get(task)
+    if bucket is None:
+        buckets[task] = [row]
+        order.append(task)
+    else:
+        bucket.append(row)
 
 
 class Grouping:
@@ -19,6 +32,23 @@ class Grouping:
 
     def targets(self, stream: str, values: tuple, n_tasks: int) -> List[int]:
         raise NotImplementedError
+
+    def targets_batch(self, stream: str, rows: Sequence[tuple],
+                      n_tasks: int) -> TaskBatches:
+        """Partition a whole batch into per-task sub-batches in one pass.
+
+        Returns ``[(task, rows), ...]``: row order is preserved within each
+        sub-batch and tasks appear in order of first assignment, so for a
+        single-row batch the task order equals ``targets``.  The base
+        implementation falls back to per-tuple ``targets``; subclasses
+        override it with a vectorized single pass.
+        """
+        buckets: Dict[int, List[tuple]] = {}
+        order: List[int] = []
+        for row in rows:
+            for task in self.targets(stream, row, n_tasks):
+                _bucket_append(buckets, order, task, row)
+        return [(task, buckets[task]) for task in order]
 
     def is_content_sensitive(self) -> bool:
         """Content-sensitive groupings route by value and are prone to
@@ -37,6 +67,16 @@ class ShuffleGrouping(Grouping):
         self._next += 1
         return [target]
 
+    def targets_batch(self, stream: str, rows: Sequence[tuple],
+                      n_tasks: int) -> TaskBatches:
+        start = self._next
+        self._next += len(rows)
+        buckets: Dict[int, List[tuple]] = {}
+        order: List[int] = []
+        for offset, row in enumerate(rows):
+            _bucket_append(buckets, order, (start + offset) % n_tasks, row)
+        return [(task, buckets[task]) for task in order]
+
     def is_content_sensitive(self) -> bool:
         return False
 
@@ -53,12 +93,26 @@ class FieldsGrouping(Grouping):
         key = tuple(values[p] for p in self.positions)
         return [stable_hash(key) % n_tasks]
 
+    def targets_batch(self, stream: str, rows: Sequence[tuple],
+                      n_tasks: int) -> TaskBatches:
+        positions = self.positions
+        buckets: Dict[int, List[tuple]] = {}
+        order: List[int] = []
+        for row in rows:
+            key = tuple(row[p] for p in positions)
+            _bucket_append(buckets, order, stable_hash(key) % n_tasks, row)
+        return [(task, buckets[task]) for task in order]
+
 
 class AllGrouping(Grouping):
     """Broadcast to every task (dimension replication, small dimension tables)."""
 
     def targets(self, stream: str, values: tuple, n_tasks: int) -> List[int]:
         return list(range(n_tasks))
+
+    def targets_batch(self, stream: str, rows: Sequence[tuple],
+                      n_tasks: int) -> TaskBatches:
+        return [(task, list(rows)) for task in range(n_tasks)]
 
     def is_content_sensitive(self) -> bool:
         return False
@@ -69,6 +123,10 @@ class GlobalGrouping(Grouping):
 
     def targets(self, stream: str, values: tuple, n_tasks: int) -> List[int]:
         return [0]
+
+    def targets_batch(self, stream: str, rows: Sequence[tuple],
+                      n_tasks: int) -> TaskBatches:
+        return [(0, list(rows))]
 
     def is_content_sensitive(self) -> bool:
         return False
@@ -109,6 +167,22 @@ class HypercubeGrouping(Grouping):
             )
         return self.partitioner.destinations(self.rel_name, values)
 
+    def targets_batch(self, stream: str, rows: Sequence[tuple],
+                      n_tasks: int) -> TaskBatches:
+        if n_tasks != self.partitioner.n_machines:
+            raise ValueError(
+                f"joiner parallelism {n_tasks} does not match the scheme's "
+                f"{self.partitioner.n_machines} machines"
+            )
+        destinations = self.partitioner.destinations
+        rel_name = self.rel_name
+        buckets: Dict[int, List[tuple]] = {}
+        order: List[int] = []
+        for row in rows:
+            for task in destinations(rel_name, row):
+                _bucket_append(buckets, order, task, row)
+        return [(task, buckets[task]) for task in order]
+
     def is_content_sensitive(self) -> bool:
         return self.partitioner.is_content_sensitive()
 
@@ -133,3 +207,17 @@ class KeyMappedGrouping(Grouping):
         except KeyError:
             # unseen key: fall back to hashing rather than dropping data
             return [stable_hash(key) % n_tasks]
+
+    def targets_batch(self, stream: str, rows: Sequence[tuple],
+                      n_tasks: int) -> TaskBatches:
+        position = self.position
+        mapping = self.mapping
+        buckets: Dict[int, List[tuple]] = {}
+        order: List[int] = []
+        for row in rows:
+            key = row[position]
+            assigned = mapping.get(key)
+            if assigned is None and key not in mapping:
+                assigned = stable_hash(key)
+            _bucket_append(buckets, order, assigned % n_tasks, row)
+        return [(task, buckets[task]) for task in order]

@@ -31,10 +31,10 @@ class TopologyMetrics:
     def record_emit(self, component: str, task: int, count: int = 1):
         self.emitted[component][task] += count
 
-    def record_receive(self, source: str, target: str, task: int):
-        self.received[target][task] += 1
+    def record_receive(self, source: str, target: str, task: int, count: int = 1):
+        self.received[target][task] += count
         key = (source, target)
-        self.edge_transfers[key] = self.edge_transfers.get(key, 0) + 1
+        self.edge_transfers[key] = self.edge_transfers.get(key, 0) + count
 
     # -- component-level monitors -----------------------------------------
 

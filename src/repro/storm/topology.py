@@ -35,6 +35,21 @@ class Spout:
     def next_tuple(self) -> Optional[Emission]:
         raise NotImplementedError
 
+    def next_batch(self, max_rows: int) -> List[Emission]:
+        """Pull up to ``max_rows`` emissions in one call.
+
+        Returning fewer than ``max_rows`` emissions signals exhaustion (the
+        per-tuple contract's ``None``).  The default implementation loops
+        ``next_tuple``; sources with cheap bulk access override it.
+        """
+        emissions: List[Emission] = []
+        while len(emissions) < max_rows:
+            emission = self.next_tuple()
+            if emission is None:
+                break
+            emissions.append(emission)
+        return emissions
+
 
 class ListSpout(Spout):
     """Emits a pre-materialised list of rows on one stream.
@@ -60,6 +75,16 @@ class ListSpout(Spout):
         self._position += self._step
         return (self.stream, row)
 
+    def next_batch(self, max_rows: int) -> List[Emission]:
+        rows = self.rows
+        stream = self.stream
+        position = self._position
+        step = self._step
+        stop = min(len(rows), position + step * max_rows)
+        emissions = [(stream, rows[i]) for i in range(position, stop, step)]
+        self._position = position + step * len(emissions)
+        return emissions
+
 
 class Bolt:
     """A computation node: consumes tuples, returns emissions."""
@@ -69,6 +94,20 @@ class Bolt:
 
     def execute(self, source: str, stream: str, values: tuple) -> List[Emission]:
         raise NotImplementedError
+
+    def execute_batch(self, source: str, stream: str,
+                      rows: Sequence[tuple]) -> List[Emission]:
+        """Consume a micro-batch of tuples from one (source, stream).
+
+        Emissions are returned in per-tuple order, so batched execution
+        preserves the per-tuple semantics.  The default implementation
+        loops ``execute``; hot bolts override it with a vectorized pass.
+        """
+        emissions: List[Emission] = []
+        execute = self.execute
+        for row in rows:
+            emissions.extend(execute(source, stream, row))
+        return emissions
 
     def finish(self) -> List[Emission]:
         """Called once after every upstream component finished (flush)."""

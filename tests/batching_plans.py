@@ -1,0 +1,139 @@
+"""Deterministic physical plans shared by the batching-equivalence tests.
+
+The golden files under ``tests/golden/`` were captured by running these
+exact plans through the seed per-tuple engine (recursive ``_dispatch``).
+``test_batching_equivalence.py`` replays them through the batched
+dataplane and asserts byte-identical results and metrics for
+``batch_size=1`` and multiset-identical results for larger batches.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.expressions import col
+from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo
+from repro.core.schema import Relation, Schema
+from repro.engine import (
+    AggComponent,
+    JoinComponent,
+    PhysicalPlan,
+    SourceComponent,
+    count,
+    total,
+)
+
+
+def rst_relations(seed: int = 60, n: int = 40):
+    """The paper's running example R(x,y) >< S(y,z) >< T(z,t)."""
+    rng = random.Random(seed)
+    R = Relation("R", Schema.of("x", "y"),
+                 [(rng.randrange(20), rng.randrange(6)) for _ in range(n)])
+    S = Relation("S", Schema.of("y", "z"),
+                 [(rng.randrange(6), rng.randrange(5)) for _ in range(n)])
+    T = Relation("T", Schema.of("z", "t"),
+                 [(rng.randrange(5), rng.randrange(9)) for _ in range(n)])
+    spec = JoinSpec(
+        [RelationInfo("R", R.schema, n), RelationInfo("S", S.schema, n),
+         RelationInfo("T", T.schema, n)],
+        [EquiCondition(("R", "y"), ("S", "y")),
+         EquiCondition(("S", "z"), ("T", "z"))],
+    )
+    return R, S, T, spec
+
+
+def plan_join_only() -> PhysicalPlan:
+    """Plain 3-way join, parallel R readers, hybrid hypercube + DBToaster."""
+    R, S, T, spec = rst_relations(seed=60)
+    return PhysicalPlan(
+        sources=[SourceComponent("R", R, parallelism=2),
+                 SourceComponent("S", S), SourceComponent("T", T)],
+        joins=[JoinComponent("J", spec, machines=6)],
+    )
+
+
+def plan_selection_traditional() -> PhysicalPlan:
+    """Selection pushed into the R source; traditional local join on hash."""
+    R, S, T, spec = rst_relations(seed=61)
+    return PhysicalPlan(
+        sources=[SourceComponent("R", R, predicate=col("x").lt(10)),
+                 SourceComponent("S", S), SourceComponent("T", T)],
+        joins=[JoinComponent("J", spec, machines=4, scheme="hash",
+                             local_join="traditional")],
+    )
+
+
+def plan_online_agg() -> PhysicalPlan:
+    """Online aggregation: result *order* depends on tuple interleaving."""
+    R, S, T, spec = rst_relations(seed=64, n=15)
+    return PhysicalPlan(
+        sources=[SourceComponent("R", R), SourceComponent("S", S),
+                 SourceComponent("T", T)],
+        joins=[JoinComponent("J", spec, machines=4, output_positions=[1])],
+        aggregation=AggComponent("agg", group_positions=[0],
+                                 aggregates=[count()], parallelism=2,
+                                 online=True),
+    )
+
+
+def plan_snapshot_agg() -> PhysicalPlan:
+    """Offline aggregation with a predefined key domain (key-mapped routing)."""
+    R, S, T, spec = rst_relations(seed=62)
+    return PhysicalPlan(
+        sources=[SourceComponent("R", R), SourceComponent("S", S),
+                 SourceComponent("T", T)],
+        joins=[JoinComponent("J", spec, machines=6,
+                             output_positions=[1, 5])],  # R.y, T.t
+        aggregation=AggComponent("agg", group_positions=[0],
+                                 aggregates=[count(), total(1)],
+                                 parallelism=3, key_domain=list(range(6))),
+    )
+
+
+def plan_two_joins() -> PhysicalPlan:
+    """R >< S via hash, then (RS) >< T: a pipeline of two 2-way joins."""
+    from repro.joins.base import JoinSchema
+
+    R, S, T, _spec = rst_relations(seed=63)
+    spec_rs = JoinSpec(
+        [RelationInfo("R", R.schema, len(R)), RelationInfo("S", S.schema, len(S))],
+        [EquiCondition(("R", "y"), ("S", "y"))],
+    )
+    rs_schema = JoinSchema.from_spec(spec_rs).output_schema()
+    spec_rst = JoinSpec(
+        [RelationInfo("J1", rs_schema, 100), RelationInfo("T", T.schema, len(T))],
+        [EquiCondition(("J1", "S.z"), ("T", "z"))],
+    )
+    return PhysicalPlan(
+        sources=[SourceComponent("R", R), SourceComponent("S", S),
+                 SourceComponent("T", T)],
+        joins=[JoinComponent("J1", spec_rs, machines=4, scheme="hash"),
+               JoinComponent("J2", spec_rst, machines=4, scheme="hash")],
+    )
+
+
+#: name -> plan builder; every entry has a golden capture
+GOLDEN_PLANS = {
+    "join_only": plan_join_only,
+    "selection_traditional": plan_selection_traditional,
+    "online_agg": plan_online_agg,
+    "snapshot_agg": plan_snapshot_agg,
+    "two_joins": plan_two_joins,
+}
+
+
+def run_result_fingerprint(result) -> dict:
+    """JSON-friendly snapshot of everything the equivalence test compares."""
+    return {
+        "results": [list(row) for row in result.results],
+        "received": {k: list(v) for k, v in result.metrics.received.items()},
+        "emitted": {k: list(v) for k, v in result.metrics.emitted.items()},
+        "edge_transfers": {
+            f"{src}->{dst}": n
+            for (src, dst), n in sorted(result.metrics.edge_transfers.items())
+        },
+        "reads": dict(result.reads),
+        "selections": {k: list(v) for k, v in result.selections.items()},
+        "join_work": {k: list(v) for k, v in result.join_work.items()},
+        "join_state": {k: list(v) for k, v in result.join_state.items()},
+    }

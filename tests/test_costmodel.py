@@ -10,7 +10,7 @@ from repro.costmodel import CostBreakdown, CostConstants, CostModel
 from repro.engine import JoinComponent, PhysicalPlan, SourceComponent, run_plan
 from repro.joins import HyLDOperator
 
-from conftest import interleaved_stream, make_rst_data
+from tests.conftest import interleaved_stream, make_rst_data
 
 
 class TestCostBreakdown:

@@ -9,7 +9,7 @@ from repro.storm.failures import (
     checkpoint_plan,
 )
 
-from conftest import make_rst_data
+from tests.conftest import make_rst_data
 
 
 class TestPeerMachines:

@@ -10,7 +10,7 @@ from repro.core.schema import Schema
 from repro.joins import HyLDOperator, reference_join
 from repro.joins.hyld import MemoryBudgetExceeded
 
-from conftest import interleaved_stream, make_rst_data
+from tests.conftest import interleaved_stream, make_rst_data
 
 
 @pytest.mark.parametrize("scheme", ["hash", "random", "hybrid"])

@@ -18,7 +18,7 @@ from repro.joins import DBToasterJoin, TraditionalJoin, reference_join
 from repro.joins.base import JoinSchema
 from repro.joins.dbtoaster import connected_subsets
 
-from conftest import interleaved_stream, make_rst_data
+from tests.conftest import interleaved_stream, make_rst_data
 
 
 def run_stream(join, stream):
