@@ -1,0 +1,81 @@
+"""Benchmark regression gate: compare a pytest-benchmark JSON run
+against the committed baseline and fail on significant slowdowns.
+
+Usage (what the CI bench job runs)::
+
+    python benchmarks/check_regression.py \
+        benchmarks/BENCH_baseline.json BENCH_<sha>.json --threshold 0.20
+
+A benchmark regresses when its best (min) time exceeds the baseline's
+best time by more than ``threshold``.  Min-of-rounds is the least noisy
+statistic a shared CI runner can offer; the generous default threshold
+absorbs normal runner-to-runner jitter while still catching real
+algorithmic slowdowns.  Benchmarks present on only one side are
+reported but never fail the gate (new benchmarks must be able to land,
+and retired ones to leave, without a baseline edit race).
+
+Refresh the committed baseline by downloading a green run's
+``BENCH_<sha>.json`` artifact (or running
+``PYTHONPATH=src python -m pytest benchmarks/ --benchmark-json ...``
+locally) and copying it over ``benchmarks/BENCH_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_stats(path: str) -> dict:
+    with open(path) as handle:
+        data = json.load(handle)
+    stats = {}
+    for bench in data.get("benchmarks", []):
+        stats[bench["fullname"]] = bench["stats"]
+    return stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="this run's --benchmark-json output")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional slowdown of the min time "
+                             "before failing (default %(default)s)")
+    args = parser.parse_args(argv)
+
+    baseline = load_stats(args.baseline)
+    current = load_stats(args.current)
+
+    regressions = []
+    print(f"{'benchmark':<60}{'baseline':>12}{'current':>12}{'ratio':>8}")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print(f"{name:<60}{'(new)':>12}{current[name]['min']:>12.4f}")
+            continue
+        if name not in current:
+            print(f"{name:<60}{baseline[name]['min']:>12.4f}{'(gone)':>12}")
+            continue
+        base_min = baseline[name]["min"]
+        cur_min = current[name]["min"]
+        ratio = cur_min / base_min if base_min else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, ratio))
+            flag = "  REGRESSION"
+        print(f"{name:<60}{base_min:>12.4f}{cur_min:>12.4f}{ratio:>7.2f}x{flag}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) slower than the "
+              f"baseline by more than {args.threshold:.0%}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print(f"\nOK: no benchmark regressed by more than {args.threshold:.0%} "
+          f"({len(set(baseline) & set(current))} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

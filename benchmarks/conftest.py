@@ -10,7 +10,7 @@ terminal summary and written to ``benchmarks/results/``.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import pytest
 

@@ -8,7 +8,6 @@ Expected: adaptive tracks the oracle's load within a small factor at a
 bounded migration cost, while the static square matrix overpays.
 """
 
-import pytest
 
 from benchmarks.conftest import record_table
 from benchmarks.harness import fmt

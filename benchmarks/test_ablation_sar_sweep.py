@@ -32,7 +32,9 @@ def make_relations(z, seed):
         gen = ZipfGenerator(KEYS, z, seed=seed)
         draw = gen.draw
     else:
-        draw = lambda: rng.randrange(KEYS)
+        def draw():
+            return rng.randrange(KEYS)
+
     left = Relation("L", Schema.of("k", "v"), [(draw(), i) for i in range(N)])
     right = Relation("R", Schema.of("k", "w"), [(draw(), i) for i in range(N)])
     return left, right

@@ -12,7 +12,6 @@ its work tracks the final output regardless of which pair is explosive.
 
 import random
 
-import pytest
 
 from benchmarks.conftest import record_table
 from benchmarks.harness import fmt, run_hyld_experiment, run_pipeline_experiment

@@ -14,7 +14,6 @@ Three section-5 phenomena that motivate Squall's scheme choices:
 import random
 from collections import Counter
 
-import pytest
 
 from benchmarks.conftest import record_table
 from benchmarks.harness import fmt

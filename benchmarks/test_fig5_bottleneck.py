@@ -13,14 +13,12 @@ really parse dates) and price the measured counters.
 
 import datetime
 
-import pytest
 
 from benchmarks.conftest import record_table
 from benchmarks.harness import fmt
 
 from repro.core.expressions import DateValue, col
 from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo
-from repro.core.schema import Relation
 from repro.costmodel import CostModel
 from repro.datasets import TPCHGenerator
 from repro.engine import JoinComponent, PhysicalPlan, SourceComponent, run_plan

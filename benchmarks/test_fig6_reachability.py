@@ -11,10 +11,13 @@ join never ships.
 import pytest
 
 from benchmarks.conftest import record_table
-from benchmarks.harness import fmt, interleave, run_hyld_experiment, run_pipeline_experiment
+from benchmarks.harness import (
+    fmt,
+    run_hyld_experiment,
+    run_pipeline_experiment,
+)
 
 from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo
-from repro.costmodel import CostModel
 from repro.joins.base import JoinSchema
 
 MACHINES = 36
@@ -37,7 +40,6 @@ def test_fig6_multiway_vs_pipeline(webgraph_sample, benchmark):
     schema = webgraph_sample.schema
     spec = three_reach_spec(len(arcs), schema)
     data = {"W1": arcs, "W2": arcs, "W3": arcs}
-    model = CostModel()
 
     def run_both():
         multiway = run_hyld_experiment(spec, data, MACHINES, "hash", seed=3)

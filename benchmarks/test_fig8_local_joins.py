@@ -8,7 +8,6 @@ and are extrapolated; we run them to completion at our scale and report
 measured ratios.
 """
 
-import pytest
 
 from benchmarks.conftest import record_table
 from benchmarks.harness import (

@@ -13,7 +13,6 @@ import random
 import pytest
 
 from benchmarks.conftest import record_table
-from benchmarks.harness import fmt
 
 from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo
 from repro.core.schema import Schema
@@ -43,7 +42,9 @@ def make_data(skewed: bool, seed=17):
         z_gen = ZipfGenerator(400, 2.0, seed=seed)
         z = z_gen.draw
     else:
-        z = lambda: rng.randrange(400)
+        def z():
+            return rng.randrange(400)
+
     return {
         "R": [(rng.randrange(1000), rng.randrange(400)) for _ in range(H)],
         "S": [(rng.randrange(400), z()) for _ in range(H)],

@@ -9,7 +9,6 @@ average under skew; Hybrid's average is the lowest of the skew-resilient
 schemes.
 """
 
-import pytest
 
 from benchmarks.conftest import record_table
 from benchmarks.harness import fmt

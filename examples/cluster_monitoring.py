@@ -17,7 +17,7 @@ dimensions) for each.
 Run:  python examples/cluster_monitoring.py
 """
 
-from repro.core.optimizer import Catalog, OptimizerOptions
+from repro.core.optimizer import OptimizerOptions
 from repro.datasets import GoogleClusterGenerator
 from repro.sql.catalog import SqlSession
 

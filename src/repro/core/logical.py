@@ -10,11 +10,11 @@ into a physical plan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.expressions import Predicate
 from repro.core.predicates import JoinCondition
-from repro.core.schema import Relation, Schema, split_qualified
+from repro.core.schema import Schema, split_qualified
 
 
 @dataclass

@@ -20,19 +20,13 @@ Responsibilities (paper section 2):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.expressions import Predicate
-from repro.core.logical import AggItem, LogicalPlan, ScanDef, resolve_column
-from repro.core.predicates import (
-    EquiCondition,
-    JoinCondition,
-    JoinSpec,
-    RelationInfo,
-)
+from repro.core.logical import LogicalPlan, ScanDef, resolve_column
+from repro.core.predicates import JoinCondition, JoinSpec, RelationInfo
 from repro.core.schema import Relation, Schema, split_qualified
-from repro.core.statistics import AttributeStats, SkewDetector, profile_column
+from repro.core.statistics import SkewDetector, profile_column
 from repro.engine.component import (
     AggComponent,
     JoinComponent,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import operator
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.core.schema import Schema
 
@@ -310,4 +310,4 @@ def equi_join_spec(
     keys: Iterable[Tuple[AttrRef, AttrRef]],
 ) -> JoinSpec:
     """Convenience constructor for pure equi-joins from (left, right) pairs."""
-    return JoinSpec(relations, [EquiCondition(l, r) for l, r in keys])
+    return JoinSpec(relations, [EquiCondition(left, right) for left, right in keys])

@@ -9,7 +9,7 @@ distinct URL of the companion WebGraph, with a synthetic score.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 from repro.core.schema import Relation, Schema
 from repro.util import make_rng

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import bisect
 import itertools
-from typing import List, Sequence
+from typing import List
 
 from repro.util import make_rng
 

@@ -10,7 +10,7 @@ spout or bolt with the component's parallelism.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.core.expressions import Expression, Predicate
 from repro.core.predicates import JoinSpec

@@ -9,7 +9,7 @@ semantics) or a snapshot when the stream ends.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.expressions import Expression, Predicate
 from repro.core.schema import Schema
@@ -50,6 +50,18 @@ class Selection:
     def selectivity(self) -> float:
         return self.passed / self.seen if self.seen else 1.0
 
+    # the compiled predicate is a closure of lambdas; drop it when a
+    # parallel worker ships the operator across a process boundary and
+    # recompile from the (picklable) predicate tree on arrival
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_fn"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._fn = self.predicate.compile(self.schema)
+
 
 class Projection:
     """Maps rows to a new schema through compiled expressions.
@@ -79,6 +91,16 @@ class Projection:
             fn = fns[0]
             return [(fn(row),) for row in rows]
         return [tuple(fn(row) for fn in fns) for row in rows]
+
+    # same pickle story as Selection: recompile the expression closures
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_fns"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._fns = [expr.compile(self.schema) for expr in self.expressions]
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,7 @@ aggregated columns need to cross the network.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.schema import Schema
 

@@ -9,9 +9,8 @@ cost model and the paper's monitors need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro.core.schema import Relation, Schema
 from repro.engine.component import (
     AggComponent,
     JoinComponent,
@@ -19,7 +18,7 @@ from repro.engine.component import (
     SourceComponent,
 )
 from repro.engine.operators import Aggregation, Projection, Selection
-from repro.engine.windows import WindowedAggregation, WindowedJoinState, WindowSpec
+from repro.engine.windows import WindowedAggregation, WindowedJoinState
 from repro.joins.base import LocalJoin
 from repro.joins.hyld import LOCAL_JOINS, SCHEMES
 from repro.partitioning.base import Partitioner
@@ -69,6 +68,23 @@ class SourceSpout(Spout):
                 row = self.projection.apply(row)
             return (self.component.name, row)
         return None
+
+    # a shipped-home spout carries its counters, not the dataset: the
+    # parallel backends return final task state to the coordinator for
+    # result extraction, and pickling the whole input relation back over
+    # the pipe would put O(dataset) serialization on that path.  A
+    # round-tripped spout is therefore exhausted-by-construction (empty
+    # rows) -- workers never resume a shipped spout.
+    def __getstate__(self):
+        import dataclasses
+
+        state = dict(self.__dict__)
+        state["rows"] = []
+        state["component"] = dataclasses.replace(
+            self.component,
+            relation=dataclasses.replace(self.component.relation, rows=[]),
+        )
+        return state
 
     def next_batch(self, max_rows: int):
         """Read a stripe of up to ``max_rows`` *passing* tuples in one pass.
@@ -173,7 +189,9 @@ class AggBolt(Bolt):
 
     def __init__(self, component: AggComponent):
         self.component = component
-        factory = lambda: Aggregation(component.group_positions, component.aggregates)
+        def factory():
+            return Aggregation(component.group_positions, component.aggregates)
+
         self.window_state: Optional[WindowedAggregation] = None
         if component.window is not None:
             self.window_state = WindowedAggregation(factory, component.window)
@@ -217,10 +235,15 @@ class AggBolt(Bolt):
 
 
 class SinkBolt(Bolt):
-    """Collects final rows into a shared list."""
+    """Collects final rows into a per-task list.
 
-    def __init__(self, store: List[tuple]):
-        self.store = store
+    Under the parallel backends each sink task's store lives inside the
+    owning worker; ``run_plan`` gathers the stores *after* the run, when
+    the cluster holds the final task state.  A shared list can still be
+    injected (tests, embedding)."""
+
+    def __init__(self, store: Optional[List[tuple]] = None):
+        self.store = [] if store is None else store
 
     def execute(self, source: str, stream: str, values: tuple):
         if stream.endswith(RETRACT_SUFFIX):
@@ -290,7 +313,8 @@ class RunResult:
 
 
 def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
-             batch_size: int = 1) -> RunResult:
+             batch_size: int = 1, executor: str = "inline",
+             parallelism: Optional[int] = None) -> RunResult:
     """Compile a physical plan to a topology and execute it locally.
 
     ``batch_size`` is the number of tuples pulled from each spout per
@@ -299,25 +323,26 @@ def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
     default of 1 reproduces the per-tuple engine's interleaving exactly;
     larger values amortize dispatch overhead without changing per-tuple
     results (the final result multiset and all per-component totals are
-    identical)."""
+    identical).
+
+    ``executor`` picks the execution backend (``"inline"``, ``"threads"``
+    or ``"processes"``) and ``parallelism`` the number of shared-nothing
+    workers; see :mod:`repro.storm.executor`.  Every backend yields the
+    same result multiset and per-component totals; the process backend
+    additionally requires pickle-safe task state (windowed components
+    hold factory closures and are inline/threads-only)."""
     plan.validate()
     builder = TopologyBuilder()
-    spouts: Dict[str, List[SourceSpout]] = {}
 
     for source in plan.sources:
-        instances: List[SourceSpout] = []
 
-        def factory(task_index: int, parallelism: int, source=source,
-                    instances=instances) -> SourceSpout:
-            spout = SourceSpout(source)
-            instances.append(spout)
-            return spout
+        def factory(task_index: int, parallelism: int,
+                    source=source) -> SourceSpout:
+            return SourceSpout(source)
 
         builder.set_spout(source.name, factory, source.parallelism)
-        spouts[source.name] = instances
 
     partitioners: Dict[str, Partitioner] = {}
-    join_bolts: Dict[str, List[JoinBolt]] = {}
     for join in plan.joins:
         if isinstance(join.scheme, str):
             partitioner = SCHEMES[join.scheme].build(
@@ -327,13 +352,10 @@ def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
             partitioner = join.scheme
         partitioners[join.name] = partitioner
         local_factory = LOCAL_JOINS[join.local_join]
-        bolts: List[JoinBolt] = []
 
         def bolt_factory(task_index: int, parallelism: int, join=join,
-                         local_factory=local_factory, bolts=bolts) -> JoinBolt:
-            bolt = JoinBolt(join, lambda: local_factory(join.spec))
-            bolts.append(bolt)
-            return bolt
+                         local_factory=local_factory) -> JoinBolt:
+            return JoinBolt(join, lambda: local_factory(join.spec))
 
         declarer = builder.set_bolt(join.name, bolt_factory, partitioner.n_machines)
         for rel_name in join.spec.relation_names:
@@ -342,7 +364,6 @@ def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
                 HypercubeGrouping(partitioner, rel_name),
                 streams=[rel_name, rel_name + RETRACT_SUFFIX],
             )
-        join_bolts[join.name] = bolts
 
     upstream_of_agg = plan.joins[-1].name if plan.joins else plan.sources[-1].name
     if plan.aggregation is not None:
@@ -369,11 +390,10 @@ def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
         else:
             declarer.global_grouping(upstream_of_agg, streams=streams)
 
-    results: List[tuple] = []
     last = plan.last_data_component()
 
     def sink_factory(task_index: int, parallelism: int) -> SinkBolt:
-        return SinkBolt(results)
+        return SinkBolt()
 
     builder.set_bolt(plan.sink.name, sink_factory, 1).global_grouping(
         last, streams=[last, last + RETRACT_SUFFIX]
@@ -381,7 +401,21 @@ def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
 
     topology = builder.build()
     cluster = LocalCluster(topology)
-    metrics = cluster.run(max_tuples=max_tuples, batch_size=batch_size)
+    metrics = cluster.run(max_tuples=max_tuples, batch_size=batch_size,
+                          executor=executor, parallelism=parallelism)
+
+    # all measurement state is read back from the cluster's tasks *after*
+    # the run: under the processes backend these are the final instances
+    # shipped home from the shared-nothing workers
+    spouts: Dict[str, List[SourceSpout]] = {
+        source.name: cluster.tasks(source.name) for source in plan.sources
+    }
+    join_bolts: Dict[str, List[JoinBolt]] = {
+        join.name: cluster.tasks(join.name) for join in plan.joins
+    }
+    results: List[tuple] = []
+    for sink in cluster.tasks(plan.sink.name):
+        results.extend(sink.store)
 
     reads = {
         name: sum(spout.read for spout in instances)

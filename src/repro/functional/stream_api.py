@@ -20,7 +20,7 @@ terminal ``execute()`` hands it to the optimizer and the local cluster.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.expressions import Predicate
 from repro.core.logical import AggItem, LogicalPlan, ScanDef, resolve_column
@@ -226,9 +226,14 @@ def _execute(context: QueryContext, logical: LogicalPlan,
              overrides: dict) -> RunResult:
     import dataclasses
 
+    # execution knobs ride along with the optimizer overrides: batch_size
+    # sets micro-batch granularity, executor/parallelism pick the backend
     batch_size = overrides.pop("batch_size", 1)
+    executor = overrides.pop("executor", "inline")
+    parallelism = overrides.pop("parallelism", None)
     options = context.options
     if overrides:
         options = dataclasses.replace(options, **overrides)
     physical = Optimizer(context.catalog, options).compile(logical)
-    return run_plan(physical, batch_size=batch_size)
+    return run_plan(physical, batch_size=batch_size, executor=executor,
+                    parallelism=parallelism)

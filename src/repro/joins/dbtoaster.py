@@ -14,7 +14,7 @@ therefore sliding-window expiration -- a symmetric negative delta.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.core.predicates import JoinCondition, JoinSpec
 from repro.joins.base import JoinSchema, LocalJoin

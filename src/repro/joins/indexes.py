@@ -13,7 +13,7 @@ sliding-window retractions) work naturally.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.util import make_rng
 

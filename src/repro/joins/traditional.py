@@ -14,12 +14,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.predicates import (
     BandCondition,
-    EquiCondition,
     JoinCondition,
     JoinSpec,
     ThetaCondition,
 )
-from repro.joins.base import JoinSchema, LocalJoin
+from repro.joins.base import LocalJoin
 from repro.joins.indexes import HashIndex, SortedIndex
 
 

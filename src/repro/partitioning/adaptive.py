@@ -11,8 +11,8 @@ is modelled as non-blocking: it happens between tuples and is accounted in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.partitioning.base import Partitioner
 from repro.partitioning.two_way import choose_matrix
@@ -61,6 +61,12 @@ class AdaptiveOneBucket(Partitioner):
         # stored coordinates: (relation, tuple id) -> row or col index
         self._coords: Dict[Tuple[str, int], int] = {}
         self._next_id = 0
+
+    def supports_task_local_routing(self) -> bool:
+        # routing depends on the globally observed stream (reshape
+        # decisions + stored-tuple coordinates); per-worker copies would
+        # diverge and lose matches, so only the inline executor runs this
+        return False
 
     # -- routing ---------------------------------------------------------
 

@@ -61,3 +61,16 @@ class Partitioner:
         therefore perform the same regardless of arrival order (section 5).
         """
         raise NotImplementedError
+
+    def supports_task_local_routing(self) -> bool:
+        """Whether per-worker copies of this partitioner route consistently.
+
+        Static schemes (hash / random / hybrid hypercube) route each tuple
+        independently of what was observed before, so worker-local copies
+        agree on where matching tuples meet.  Schemes that *adapt to the
+        observed stream* (reshaping matrices) must return False: each
+        worker copy would see only its slice of the stream and diverge,
+        silently losing matches.  The parallel executors refuse such
+        schemes; run them on the inline executor.
+        """
+        return True

@@ -11,7 +11,7 @@ routed by hashing at all.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import FrozenSet, List
 
 from repro.core.predicates import AttrRef, JoinSpec
 from repro.partitioning.base import UnsupportedJoinError

@@ -24,7 +24,7 @@ Construction (paper section 4):
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.core.predicates import AttrRef, JoinSpec, RelationInfo
 from repro.core.statistics import AttributeStats, SkewDetector

@@ -48,6 +48,13 @@ class SqlSession:
                          f"parallelism={agg.parallelism}")
         return "\n".join(parts)
 
-    def execute(self, sql: str, batch_size: int = 1) -> RunResult:
-        """Parse, optimize and run a query on the local cluster."""
-        return run_plan(self.plan(sql), batch_size=batch_size)
+    def execute(self, sql: str, batch_size: int = 1, executor: str = "inline",
+                parallelism: Optional[int] = None) -> RunResult:
+        """Parse, optimize and run a query on the local cluster.
+
+        ``batch_size`` sets the micro-batch granularity and ``executor`` /
+        ``parallelism`` the execution backend ('inline', 'threads' or
+        'processes' over N shared-nothing workers); all backends return
+        the same result multiset."""
+        return run_plan(self.plan(sql), batch_size=batch_size,
+                        executor=executor, parallelism=parallelism)

@@ -20,7 +20,7 @@ conditions become selections pushed down to the referencing scan.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.expressions import Comparison, col, lit
 from repro.core.logical import AggItem, LogicalPlan, ScanDef, resolve_column

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.optimizer import OptimizerOptions
 from repro.sql.catalog import SqlSession
 
 HELP_TEXT = __doc__.split("Meta-commands", 1)[1]

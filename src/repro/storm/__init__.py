@@ -30,9 +30,23 @@ from repro.storm.groupings import (
     ShuffleGrouping,
 )
 from repro.storm.cluster import LocalCluster
+from repro.storm.executor import (
+    EXECUTOR_NAMES,
+    ExecutorError,
+    ProcessExecutor,
+    Router,
+    StagedExecutor,
+    ThreadExecutor,
+)
 from repro.storm.metrics import TopologyMetrics
 
 __all__ = [
+    "EXECUTOR_NAMES",
+    "ExecutorError",
+    "ProcessExecutor",
+    "Router",
+    "StagedExecutor",
+    "ThreadExecutor",
     "Bolt",
     "ListSpout",
     "Spout",

@@ -14,14 +14,20 @@ Larger batch sizes amortize dispatch, grouping, and metric bookkeeping
 over whole micro-batches; per-tuple *results* are unchanged (the engine's
 operators are order-insensitive up to the final multiset), only the
 interleaving differs.
+
+``run(executor=...)`` selects the execution backend: ``inline`` (this
+module's single-threaded loop, the default), or the staged shared-nothing
+``threads`` / ``processes`` backends of :mod:`repro.storm.executor`,
+which spread the tasks across parallel workers exchanging micro-batches.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.storm.executor import ExecutorError, Router, create_executor
 from repro.storm.metrics import TopologyMetrics
-from repro.storm.topology import Bolt, EdgeSpec, Spout, Topology, TopologyError
+from repro.storm.topology import Bolt, Spout, Topology, TopologyError
 
 #: one unit of pending work: rows of `stream` (emitted by `source`)
 #: awaiting execution at task `task` of component `target`
@@ -50,17 +56,16 @@ class LocalCluster:
                 instances.append(instance)
             self._tasks[name] = instances
             self.metrics.register(name, spec.parallelism)
-        # static routing tables, computed once instead of per dispatch
-        self._out_edges: Dict[str, List[EdgeSpec]] = {
-            name: topology.out_edges(name) for name in topology.components
-        }
-        self._parallelism: Dict[str, int] = {
-            name: spec.parallelism for name, spec in topology.components.items()
-        }
+        # static routing table over the topology's own groupings: routing
+        # is identical to the seed engine's per-dispatch edge walk
+        self._router = Router(topology)
         self._coalesce = False
 
     def task(self, component: str, index: int):
-        """Access a live task instance (tests, result extraction)."""
+        """Access a live task instance (tests, result extraction).
+
+        After a ``processes`` run this returns the final task state
+        shipped back from the owning worker."""
         return self._tasks[component][index]
 
     def tasks(self, component: str) -> List[object]:
@@ -68,17 +73,32 @@ class LocalCluster:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, max_tuples: Optional[int] = None,
-            batch_size: int = 1) -> TopologyMetrics:
+    def run(self, max_tuples: Optional[int] = None, batch_size: int = 1,
+            executor: str = "inline",
+            parallelism: Optional[int] = None) -> TopologyMetrics:
         """Drain all spouts, then flush bolts in topological order.
 
         ``batch_size`` is the number of tuples pulled from each spout per
         round; 1 gives exact per-tuple interleaving.  Downstream batches
         derive from the spout batches but are not re-chunked: a bolt
         emitting more rows than ``batch_size`` forwards them as one batch.
+
+        ``executor`` selects the backend: ``"inline"`` (default) runs
+        every task in this thread; ``"threads"`` / ``"processes"`` spread
+        the tasks over ``parallelism`` shared-nothing workers (see
+        :mod:`repro.storm.executor`).  All backends produce the same
+        result multiset and per-component totals.
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if executor not in (None, "inline"):
+            if max_tuples is not None:
+                raise ExecutorError(
+                    "max_tuples is only supported by the inline executor "
+                    "(parallel spout draining has no global tuple cursor)"
+                )
+            backend = create_executor(executor, self, parallelism)
+            return backend.run(batch_size=batch_size)
         self._coalesce = batch_size > 1
         spouts: List[Tuple[str, int, Spout]] = []
         for name, spec in self.topology.components.items():
@@ -100,6 +120,7 @@ class LocalCluster:
                 if not emissions:
                     continue
                 self.metrics.record_emit(name, task_index, len(emissions))
+                self.metrics.record_batch(name, task_index)
                 pulled += len(emissions)
                 self._push(stack, self._route_emissions(name, emissions))
                 self._drain(stack)
@@ -137,6 +158,7 @@ class LocalCluster:
         while stack:
             target, task, source, stream, rows = stack.pop()
             metrics.record_receive(source, target, task, len(rows))
+            metrics.record_batch(target, task)
             bolt: Bolt = tasks[target][task]
             emissions = bolt.execute_batch(source, stream, rows)
             if emissions:
@@ -151,35 +173,4 @@ class LocalCluster:
         the seed engine's recursive dispatch order); in batch mode
         consecutive emissions on the same stream are routed as one batch.
         """
-        items: List[_WorkItem] = []
-        if not self._coalesce:
-            for stream, values in emissions:
-                self._route(items, source, stream, [values])
-            return items
-        i = 0
-        n = len(emissions)
-        while i < n:
-            stream = emissions[i][0]
-            j = i + 1
-            while j < n and emissions[j][0] == stream:
-                j += 1
-            self._route(items, source, stream,
-                        [values for _stream, values in emissions[i:j]])
-            i = j
-        return items
-
-    def _route(self, items: List[_WorkItem], source: str, stream: str,
-               rows: List[tuple]):
-        """Partition one stream batch across the subscribing edges' tasks."""
-        for edge in self._out_edges[source]:
-            if not edge.subscribes(stream):
-                continue
-            parallelism = self._parallelism[edge.target]
-            for target_task, sub_rows in edge.grouping.targets_batch(
-                    stream, rows, parallelism):
-                if not 0 <= target_task < parallelism:
-                    raise TopologyError(
-                        f"grouping for {edge.source}->{edge.target} returned "
-                        f"task {target_task} outside [0, {parallelism})"
-                    )
-                items.append((edge.target, target_task, source, stream, sub_rows))
+        return self._router.route(source, emissions, coalesce=self._coalesce)

@@ -1,0 +1,535 @@
+"""Execution backends: shared-nothing parallel workers over micro-batches.
+
+The :class:`~repro.storm.cluster.LocalCluster` runs a topology through one
+of three interchangeable backends:
+
+- ``inline`` -- the cluster's own single-threaded loop (the default;
+  byte-identical to the seed per-tuple engine at ``batch_size=1``).
+- ``threads`` -- staged shared-nothing workers as threads.  Each worker
+  owns a disjoint set of tasks and its own routing state; barriers keep
+  flush/finish semantics exact.  The GIL serializes pure-Python compute,
+  so this backend is mostly useful for I/O-bound spouts and for testing
+  the parallel protocol without process overhead.
+- ``processes`` -- forked worker processes exchanging *serialized*
+  micro-batches over pipes: true shared-nothing scale-out across cores,
+  the execution model of the paper's Storm deployment.  Requires the
+  ``fork`` start method (Linux/macOS) and pickle-safe rows and task
+  state.
+
+Execution is *staged*: components are grouped into topological levels
+(every edge goes from a lower to a strictly higher level), and each level
+runs as one parallel wave with a barrier after it.  Within a wave every
+worker drains or executes only the tasks it owns, routes the emissions
+task-locally through its own copy of the stream groupings, and hands the
+routed micro-batches back to the coordinator, which delivers them to the
+owning workers in later waves.  The barrier guarantees what the inline
+loop gets for free: a component's ``finish()`` runs only after every
+upstream tuple has been delivered, so snapshot aggregations and
+retractions stay correct.
+
+Workers merge deterministically (worker-id order), so a run is
+reproducible; result *multisets* and per-component totals are identical
+across backends, only the tuple interleaving differs (the operators are
+order-insensitive up to the final multiset, exactly as for ``batch_size``
+in the inline loop).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import threading
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.storm.topology import Topology, TopologyError
+
+#: one routed unit of work: rows of `stream` (emitted by `source`)
+#: awaiting execution at task `task` of component `target`
+WorkItem = Tuple[str, int, str, str, List[tuple]]
+
+EXECUTOR_NAMES = ("inline", "threads", "processes")
+
+
+class ExecutorError(RuntimeError):
+    """A parallel backend could not run the topology."""
+
+
+def default_parallelism() -> int:
+    """Worker count used when ``parallelism`` is not given: the machine's
+    cores, capped at 4 (diminishing returns for coordinator-relayed IPC)."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def topological_levels(topology: Topology) -> List[List[str]]:
+    """Components grouped by longest-path depth from the sources.
+
+    Every edge goes from a lower level to a strictly higher one, so all
+    components of one level can execute concurrently, and by the time
+    level ``k`` runs, everything its components will ever receive has
+    already been routed.
+    """
+    order = topology.topological_order()
+    depth: Dict[str, int] = {}
+    for name in order:
+        upstream = [edge.source for edge in topology.in_edges(name)]
+        depth[name] = max((depth[up] + 1 for up in upstream), default=0)
+    levels: List[List[str]] = [[] for _ in range(max(depth.values()) + 1)]
+    for name in order:  # topological order keeps each level deterministic
+        levels[depth[name]].append(name)
+    return levels
+
+
+def assign_tasks(topology: Topology, n_workers: int) -> Dict[Tuple[str, int], int]:
+    """Disjoint task ownership: global round-robin over (component, task).
+
+    A single counter walks components in topological order and tasks in
+    index order, so singleton components (sources, sinks) spread across
+    workers instead of piling onto worker 0.
+    """
+    assignment: Dict[Tuple[str, int], int] = {}
+    counter = 0
+    for name in topology.topological_order():
+        for task_index in range(topology.components[name].parallelism):
+            assignment[(name, task_index)] = counter % n_workers
+            counter += 1
+    return assignment
+
+
+class Router:
+    """Task-local routing: one component's emissions -> routed work items.
+
+    Every worker builds its *own* Router (``clone=True`` deep-copies each
+    edge's grouping via :meth:`Grouping.task_local`), so stateful routing
+    -- shuffle counters, random replica choices -- lives inside the
+    owning worker and never needs cross-worker synchronization.  The
+    inline backend uses a single Router over the original groupings,
+    preserving the seed engine's exact routing sequence.
+    """
+
+    def __init__(self, topology: Topology, clone: bool = False):
+        # one deepcopy memo for the whole routing table: objects shared by
+        # several groupings (a partitioner driving all input edges of one
+        # join) stay shared *within* this worker's copies, so routing of
+        # the join's relations remains mutually consistent
+        memo: dict = {}
+        self._edges: Dict[str, List] = {}
+        for name in topology.components:
+            edges = []
+            for edge in topology.out_edges(name):
+                grouping = edge.grouping.task_local(memo) if clone \
+                    else edge.grouping
+                edges.append((edge, grouping))
+            self._edges[name] = edges
+        self._parallelism = {
+            name: spec.parallelism for name, spec in topology.components.items()
+        }
+
+    def route(self, source: str, emissions: List[Tuple[str, tuple]],
+              coalesce: bool = True) -> List[WorkItem]:
+        """Partition one component's emissions across subscriber tasks.
+
+        With ``coalesce`` consecutive emissions on the same stream travel
+        as one micro-batch; without it every emission is routed
+        individually (the seed engine's per-tuple dispatch order).
+        """
+        items: List[WorkItem] = []
+        if not coalesce:
+            for stream, values in emissions:
+                self._route_one(items, source, stream, [values])
+            return items
+        i = 0
+        n = len(emissions)
+        while i < n:
+            stream = emissions[i][0]
+            j = i + 1
+            while j < n and emissions[j][0] == stream:
+                j += 1
+            self._route_one(items, source, stream,
+                            [values for _stream, values in emissions[i:j]])
+            i = j
+        return items
+
+    def _route_one(self, items: List[WorkItem], source: str, stream: str,
+                   rows: List[tuple]):
+        for edge, grouping in self._edges[source]:
+            if not edge.subscribes(stream):
+                continue
+            parallelism = self._parallelism[edge.target]
+            for target_task, sub_rows in grouping.targets_batch(
+                    stream, rows, parallelism):
+                if not 0 <= target_task < parallelism:
+                    raise TopologyError(
+                        f"grouping for {edge.source}->{edge.target} returned "
+                        f"task {target_task} outside [0, {parallelism})"
+                    )
+                items.append((edge.target, target_task, source, stream, sub_rows))
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: counter deltas one worker accumulated during a wave:
+#: (emits, receives, batches) as lists of argument tuples for TopologyMetrics
+MetricDeltas = Tuple[List[tuple], List[tuple], List[tuple]]
+
+
+class WorkerState:
+    """Everything one shared-nothing worker owns: tasks + routing state."""
+
+    def __init__(self, worker_id: int, topology: Topology,
+                 tasks: Dict[str, List[object]],
+                 assignment: Dict[Tuple[str, int], int], batch_size: int):
+        self.worker_id = worker_id
+        self.batch_size = batch_size
+        self.is_spout = {
+            name: spec.is_spout for name, spec in topology.components.items()
+        }
+        self.router = Router(topology, clone=True)
+        # owned tasks only -- the shared-nothing contract: nothing else of
+        # the (forked or shared) task table is ever touched
+        self.owned: Dict[str, Dict[int, object]] = {}
+        for (name, task_index), owner in assignment.items():
+            if owner == worker_id:
+                self.owned.setdefault(name, {})[task_index] = tasks[name][task_index]
+
+    def run_wave(self, components: Sequence[str],
+                 delivered: Dict[Tuple[str, int], List[Tuple[str, str, List[tuple]]]],
+                 ) -> Tuple[List[WorkItem], MetricDeltas]:
+        """Execute one topological level on this worker's owned tasks.
+
+        Spout components are drained to exhaustion in ``batch_size``
+        micro-batches; bolt components execute their delivered batches in
+        arrival order and then flush (``finish``) -- the coordinator's
+        barrier guarantees every input batch has already been delivered.
+        """
+        out: List[WorkItem] = []
+        emits: List[tuple] = []
+        receives: List[tuple] = []
+        batches: List[tuple] = []
+        route = self.router.route
+        for name in components:
+            owned = self.owned.get(name)
+            if not owned:
+                continue
+            if self.is_spout[name]:
+                for task_index in sorted(owned):
+                    spout = owned[task_index]
+                    while True:
+                        emissions = spout.next_batch(self.batch_size)
+                        if not emissions:
+                            break
+                        emits.append((name, task_index, len(emissions)))
+                        batches.append((name, task_index))
+                        out.extend(route(name, emissions))
+                        if len(emissions) < self.batch_size:
+                            break
+            else:
+                for task_index in sorted(owned):
+                    bolt = owned[task_index]
+                    for source, stream, rows in delivered.get((name, task_index), ()):
+                        receives.append((source, name, task_index, len(rows)))
+                        batches.append((name, task_index))
+                        emissions = bolt.execute_batch(source, stream, rows)
+                        if emissions:
+                            emits.append((name, task_index, len(emissions)))
+                            out.extend(route(name, emissions))
+                    emissions = bolt.finish()
+                    if emissions:
+                        emits.append((name, task_index, len(emissions)))
+                        out.extend(route(name, emissions))
+        return out, (emits, receives, batches)
+
+    def exports(self) -> Dict[Tuple[str, int], object]:
+        """Final owned task instances, for post-run state extraction."""
+        return {
+            (name, task_index): instance
+            for name, tasks in self.owned.items()
+            for task_index, instance in tasks.items()
+        }
+
+
+def worker_loop(state: WorkerState, recv, send):
+    """Command loop shared by the thread and process backends.
+
+    ``recv()`` yields coordinator commands; ``send(reply)`` must raise in
+    the *caller* on serialization failure (queue.Queue and Connection.send
+    both do) so errors surface as ``("error", traceback)`` replies instead
+    of hangs.
+    """
+    while True:
+        message = recv()
+        kind = message[0]
+        if kind == "wave":
+            _kind, components, delivered = message
+            try:
+                send(("ok", state.run_wave(components, delivered)))
+            except Exception:
+                send(("error", traceback.format_exc()))
+        elif kind == "collect":
+            try:
+                send(("ok", state.exports()))
+            except Exception:
+                send(("error", traceback.format_exc()))
+        elif kind == "stop":
+            return
+        else:  # pragma: no cover - protocol bug
+            send(("error", f"unknown command {kind!r}"))
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+class _ThreadWorker:
+    """A worker thread fed through in-memory queues (no serialization)."""
+
+    def __init__(self, state: WorkerState):
+        self._inbox: "queue.Queue" = queue.Queue()
+        self._outbox: "queue.Queue" = queue.Queue()
+        self._thread = threading.Thread(
+            target=worker_loop,
+            args=(state, self._inbox.get, self._outbox.put),
+            daemon=True,
+        )
+        self._thread.start()
+
+    def send(self, message):
+        self._inbox.put(message)
+
+    def recv(self):
+        return self._outbox.get()
+
+    def stop(self):
+        self._inbox.put(("stop",))
+        self._thread.join(timeout=30)
+
+
+class _ProcessWorker:
+    """A forked worker process fed through pipes (pickled micro-batches).
+
+    ``fork`` copies the whole task table into the child; the worker then
+    touches only its owned slice, so state lives inside the owning worker
+    and only serialized batches and final task exports cross the pipe.
+    ``Connection.send`` pickles in the caller, so a pickle-unsafe reply
+    becomes an ``("error", ...)`` message instead of a silent hang.
+    """
+
+    def __init__(self, context, state: WorkerState):
+        self._parent_conn, child_conn = context.Pipe()
+        self._process = context.Process(
+            target=_process_worker_main, args=(state, child_conn), daemon=True
+        )
+        self._process.start()
+        child_conn.close()
+
+    def send(self, message):
+        self._parent_conn.send(message)
+
+    def recv(self):
+        return self._parent_conn.recv()
+
+    def stop(self):
+        try:
+            self._parent_conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=30)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=5)
+        self._parent_conn.close()
+
+
+def _process_worker_main(state: WorkerState, conn):
+    def send(reply):
+        try:
+            conn.send(reply)
+        except Exception:
+            # reply not pickle-safe: report instead of dropping the message
+            conn.send(("error", traceback.format_exc()))
+
+    try:
+        worker_loop(state, conn.recv, send)
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - shutdown races
+        pass
+    finally:
+        conn.close()
+
+
+class StagedExecutor:
+    """Coordinator for the parallel backends: waves, barriers, merging.
+
+    Subclasses only decide how workers run (threads vs forked processes)
+    and whether final task state must be shipped back.
+    """
+
+    name = "staged"
+    needs_fork = False
+    reimports_tasks = False
+
+    def __init__(self, cluster, parallelism: Optional[int] = None):
+        self.cluster = cluster
+        n_tasks = sum(
+            spec.parallelism for spec in cluster.topology.components.values()
+        )
+        requested = default_parallelism() if parallelism is None else parallelism
+        if requested < 1:
+            raise ExecutorError(f"parallelism must be >= 1, got {requested}")
+        self.n_workers = min(requested, n_tasks)
+        self.assignment = assign_tasks(cluster.topology, self.n_workers)
+        for edge in cluster.topology.edges:
+            if not edge.grouping.supports_task_local_routing():
+                raise ExecutorError(
+                    f"edge {edge.source}->{edge.target} routes through "
+                    f"{type(edge.grouping).__name__} whose decisions adapt "
+                    f"to the globally observed stream; worker-local copies "
+                    f"would diverge and silently lose matches -- run this "
+                    f"topology with executor='inline'"
+                )
+
+    # -- backend hooks -----------------------------------------------------
+
+    def _start_workers(self, batch_size: int) -> List[object]:
+        raise NotImplementedError
+
+    def _make_state(self, worker_id: int, batch_size: int) -> WorkerState:
+        return WorkerState(worker_id, self.cluster.topology, self.cluster._tasks,
+                           self.assignment, batch_size)
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self, batch_size: int = 1):
+        """Execute the topology to completion; returns the cluster metrics."""
+        if batch_size < 1:
+            raise ExecutorError(f"batch_size must be >= 1, got {batch_size}")
+        cluster = self.cluster
+        metrics = cluster.metrics
+        levels = topological_levels(cluster.topology)
+        workers = self._start_workers(batch_size)
+        try:
+            pending: Dict[Tuple[str, int], List[Tuple[str, str, List[tuple]]]] = {}
+            for level in levels:
+                for worker_id, worker in enumerate(workers):
+                    delivered = {}
+                    for name in level:
+                        for task_index in range(
+                                cluster.topology.components[name].parallelism):
+                            key = (name, task_index)
+                            if self.assignment[key] != worker_id:
+                                continue
+                            items = pending.pop(key, None)
+                            if items:
+                                delivered[key] = items
+                    worker.send(("wave", level, delivered))
+                # barrier: collect every worker's wave in worker-id order,
+                # so the merged delivery order is deterministic
+                for worker in workers:
+                    routed, deltas = self._reply(worker)
+                    emits, receives, batches = deltas
+                    for name, task_index, count in emits:
+                        metrics.record_emit(name, task_index, count)
+                    for source, target, task_index, count in receives:
+                        metrics.record_receive(source, target, task_index, count)
+                    for name, task_index in batches:
+                        metrics.record_batch(name, task_index)
+                    for target, task_index, source, stream, rows in routed:
+                        pending.setdefault((target, task_index), []).append(
+                            (source, stream, rows)
+                        )
+            if pending:  # pragma: no cover - level invariant violated
+                raise ExecutorError(
+                    f"undelivered batches after final wave: {sorted(pending)}"
+                )
+            self._finalize(workers)
+        finally:
+            for worker in workers:
+                worker.stop()
+        return metrics
+
+    def _reply(self, worker):
+        status, payload = worker.recv()
+        if status != "ok":
+            raise ExecutorError(
+                f"{self.name} worker failed:\n{payload}"
+            )
+        return payload
+
+    def _finalize(self, workers):
+        """Ship final task state back into the cluster (process backend)."""
+        if not self.reimports_tasks:
+            return
+        for worker in workers:
+            worker.send(("collect",))
+        for worker in workers:
+            for (name, task_index), instance in self._reply(worker).items():
+                self.cluster._tasks[name][task_index] = instance
+
+
+class ThreadExecutor(StagedExecutor):
+    """Staged workers as threads sharing the cluster's task instances.
+
+    Ownership is still disjoint and routing still task-local, so the
+    execution protocol is identical to the process backend -- only the
+    transport (in-memory queues) and the memory model (shared heap, no
+    pickling) differ.
+    """
+
+    name = "threads"
+
+    def _start_workers(self, batch_size):
+        return [
+            _ThreadWorker(self._make_state(worker_id, batch_size))
+            for worker_id in range(self.n_workers)
+        ]
+
+
+class ProcessExecutor(StagedExecutor):
+    """Staged workers as forked processes: shared-nothing across cores."""
+
+    name = "processes"
+    reimports_tasks = True
+
+    def _start_workers(self, batch_size):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ExecutorError(
+                "the 'processes' backend needs the fork start method "
+                "(component factories are closures and cannot be pickled); "
+                "use executor='threads' or 'inline' on this platform"
+            )
+        context = multiprocessing.get_context("fork")
+        return [
+            _ProcessWorker(context, self._make_state(worker_id, batch_size))
+            for worker_id in range(self.n_workers)
+        ]
+
+
+_BACKENDS = {
+    "threads": ThreadExecutor,
+    "processes": ProcessExecutor,
+}
+
+
+def create_executor(name: str, cluster, parallelism: Optional[int] = None):
+    """Instantiate a parallel backend by name ('threads' or 'processes').
+
+    The 'inline' backend is the LocalCluster's own loop and never reaches
+    this factory.
+    """
+    try:
+        backend = _BACKENDS[name]
+    except KeyError:
+        raise ExecutorError(
+            f"unknown executor {name!r}; choose one of {EXECUTOR_NAMES}"
+        ) from None
+    return backend(cluster, parallelism)
+
+
+def pickle_roundtrip(obj):
+    """Helper used by tests and docs to check worker pickle-safety."""
+    return pickle.loads(pickle.dumps(obj))

@@ -14,7 +14,7 @@ computes which relations need it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.partitioning.hypercube import HypercubePartitioner
 

@@ -8,7 +8,8 @@ small predefined key domain to avoid hash imperfections (paper section 5).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import copy
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.partitioning.base import Partitioner
 from repro.util import stable_hash
@@ -53,6 +54,36 @@ class Grouping:
     def is_content_sensitive(self) -> bool:
         """Content-sensitive groupings route by value and are prone to
         temporal skew (section 5); content-insensitive ones are not."""
+        return True
+
+    def task_local(self, memo: Optional[dict] = None) -> "Grouping":
+        """An independent copy for one shared-nothing worker.
+
+        Parallel backends route task-locally: every worker owns its own
+        grouping state (shuffle counters, random replica choices), so
+        routing needs no cross-worker synchronization.  Content-sensitive
+        groupings are pure functions of the tuple and copy trivially;
+        content-insensitive ones diverge per worker, which only changes
+        the interleaving, never the result multiset.  Groupings must be
+        deep-copyable and pickle-safe (no open handles, no lambdas) to be
+        usable under the 'threads' and 'processes' executors.
+
+        ``memo`` is the deepcopy memo shared across one worker's whole
+        routing table, so objects referenced by several groupings (a
+        partitioner shared by a join's input edges) stay *shared within
+        the worker* instead of silently splitting into diverging copies.
+        """
+        return copy.deepcopy(self, memo if memo is not None else {})
+
+    def supports_task_local_routing(self) -> bool:
+        """Whether per-worker copies of this grouping route consistently.
+
+        False for groupings whose routing *adapts to the globally
+        observed stream* (e.g. a reshaping adaptive partitioner): worker
+        copies would each see only a slice of the stream, diverge, and
+        silently drop join matches.  The parallel backends refuse such
+        topologies up front; the inline executor runs them exactly.
+        """
         return True
 
 
@@ -185,6 +216,9 @@ class HypercubeGrouping(Grouping):
 
     def is_content_sensitive(self) -> bool:
         return self.partitioner.is_content_sensitive()
+
+    def supports_task_local_routing(self) -> bool:
+        return self.partitioner.supports_task_local_routing()
 
 
 class KeyMappedGrouping(Grouping):

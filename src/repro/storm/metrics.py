@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 
 @dataclass
@@ -23,10 +23,15 @@ class TopologyMetrics:
     received: Dict[str, List[int]] = field(default_factory=dict)
     emitted: Dict[str, List[int]] = field(default_factory=dict)
     edge_transfers: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: micro-batches handled per task: spout pulls and bolt deliveries.
+    #: The load-balance signal of the parallel backends -- per-task *tuple*
+    #: counts alone cannot tell an idle spout task from a starved one.
+    batches: Dict[str, List[int]] = field(default_factory=dict)
 
     def register(self, component: str, parallelism: int):
         self.received[component] = [0] * parallelism
         self.emitted[component] = [0] * parallelism
+        self.batches[component] = [0] * parallelism
 
     def record_emit(self, component: str, task: int, count: int = 1):
         self.emitted[component][task] += count
@@ -35,6 +40,15 @@ class TopologyMetrics:
         self.received[target][task] += count
         key = (source, target)
         self.edge_transfers[key] = self.edge_transfers.get(key, 0) + count
+
+    def record_batch(self, component: str, task: int, count: int = 1):
+        """One micro-batch pulled from a spout task or delivered to a bolt
+        task.  Spout tasks have no ``received`` counters, so this is the
+        only per-task activity signal they get."""
+        self.batches[component][task] += count
+
+    def batch_counts(self, component: str) -> List[int]:
+        return list(self.batches.get(component, ()))
 
     # -- component-level monitors -----------------------------------------
 

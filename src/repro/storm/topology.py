@@ -7,12 +7,11 @@ partition their data across tasks the way Storm's spout instances do.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.storm.groupings import (
     AllGrouping,
-    CustomGrouping,
     FieldsGrouping,
     GlobalGrouping,
     Grouping,

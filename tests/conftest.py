@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo
-from repro.core.schema import Relation, Schema
+from repro.core.schema import Schema
 
 
 @pytest.fixture

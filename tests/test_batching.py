@@ -105,7 +105,9 @@ class TestTargetsBatch:
         self.check_matches_per_tuple(GlobalGrouping)
 
     def test_custom_uses_per_tuple_fallback(self):
-        make = lambda: CustomGrouping(lambda stream, values, n: [values[0] % n])
+        def make():
+            return CustomGrouping(lambda stream, values, n: [values[0] % n])
+
         self.check_matches_per_tuple(make)
 
     def test_key_mapped_including_unseen_keys(self):

@@ -8,7 +8,6 @@ import pytest
 from repro.core.predicates import BandCondition, EquiCondition, ThetaCondition
 from repro.partitioning.ewh import (
     EWHScheme,
-    Region,
     cell_can_join,
     equi_depth_boundaries,
     tile_matrix,

@@ -5,13 +5,9 @@ import datetime
 import pytest
 
 from repro.core.expressions import (
-    And,
     Arithmetic,
     Comparison,
     DateValue,
-    Literal,
-    Not,
-    Or,
     TruePredicate,
     col,
     lit,

@@ -1,13 +1,8 @@
 """Tests for scheme-aware fault tolerance (paper section 5)."""
 
-import pytest
 
-from repro.partitioning import HashHypercube, HybridHypercube, RandomHypercube
-from repro.storm.failures import (
-    RecoveryReport,
-    ReplicatedStateTracker,
-    checkpoint_plan,
-)
+from repro.partitioning import HashHypercube, RandomHypercube
+from repro.storm.failures import ReplicatedStateTracker, checkpoint_plan
 
 from tests.conftest import make_rst_data
 

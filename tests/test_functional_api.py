@@ -1,7 +1,7 @@
 """Tests for the functional stream API."""
 
 import random
-from collections import Counter, defaultdict
+from collections import defaultdict
 
 import pytest
 
@@ -9,7 +9,6 @@ from repro.core.expressions import col
 from repro.core.optimizer import Catalog
 from repro.core.schema import Relation, Schema
 from repro.functional import QueryContext
-from repro.joins import reference_join
 
 
 @pytest.fixture

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.predicates import AttrRef
 from repro.partitioning.hypercube import (
     HASH,
     RANDOM,

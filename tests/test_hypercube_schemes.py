@@ -22,7 +22,7 @@ from repro.partitioning import (
 from repro.partitioning.hybrid_hypercube import decide_skew_marking, hybrid_dimensions
 from repro.partitioning.hypercube import HASH, RANDOM
 
-from tests.conftest import interleaved_stream, make_rst_data
+from tests.conftest import make_rst_data
 
 
 def rst_spec_skewed(top=0.5):

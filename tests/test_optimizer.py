@@ -10,7 +10,6 @@ from repro.core.logical import AggItem, LogicalPlan, ScanDef, resolve_column
 from repro.core.optimizer import Catalog, Optimizer, OptimizerOptions
 from repro.core.predicates import EquiCondition
 from repro.core.schema import Relation, Schema
-from repro.datasets import TPCHGenerator
 from repro.engine.runner import run_plan
 from repro.joins import reference_join
 
@@ -169,7 +168,6 @@ class TestCompilation:
             catalog, OptimizerOptions(machines=4, mode="pipeline")
         ).compile(logical)
         result = run_plan(physical)
-        data = {name: catalog.get(name).rows for name in ("R", "S", "T")}
         multiway = Optimizer(catalog, OptimizerOptions(machines=4)).compile(
             rst_logical()
         )

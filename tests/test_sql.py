@@ -5,7 +5,7 @@ from collections import Counter, defaultdict
 import pytest
 
 from repro.core.optimizer import OptimizerOptions
-from repro.core.schema import Relation, Schema
+from repro.core.schema import Schema
 from repro.datasets import TPCHGenerator
 from repro.sql import SqlError, parse_query, tokenize
 from repro.sql.catalog import SqlSession

@@ -121,9 +121,7 @@ class TestTopologyBuilder:
         builder = TopologyBuilder()
         builder.set_spout("a", lambda i, p: ListSpout([]))
         builder.set_spout("c", lambda i, p: ListSpout([]))
-        declarer = builder.set_bolt("b", lambda i, p: EchoBolt())
-        builder._edges.append(type(builder._edges)() if False else None)
-        builder._edges.pop()
+        builder.set_bolt("b", lambda i, p: EchoBolt())
         # wire an edge into a spout manually
         from repro.storm.topology import EdgeSpec
         builder._edges.append(EdgeSpec("b", "c", ShuffleGrouping()))

@@ -29,7 +29,6 @@ def windowed_reference(stream, window, spec):
     """Naive windowed join: pair (a, b) joins iff both are within the
     window at the time the later one arrives."""
     out = Counter()
-    seen = []
     arrivals = 0
     current_window = None
     stored = []
@@ -114,9 +113,6 @@ class TestWindowedJoin:
         for rel, row in make_stream(n=200, seed=3):
             state.insert(rel, row)
         # at most window-size base tuples retained (plus views over them)
-        base_tuples = sum(
-            1 for _ in range(0)
-        )
         assert len(state._stored) <= 6
 
     def test_arrival_order_windows(self, join_cls):
@@ -135,7 +131,9 @@ class TestWindowedJoin:
 class TestWindowedAggregation:
     def make(self, size=10):
         window = WindowSpec.tumbling(size, ts_positions={"": 0})
-        factory = lambda: Aggregation([1], [count(), total(2)])
+        def factory():
+            return Aggregation([1], [count(), total(2)])
+
         return WindowedAggregation(factory, window)
 
     def test_emits_on_window_close(self):
