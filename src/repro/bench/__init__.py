@@ -97,6 +97,30 @@ def measure_backend(executor: str, parallelism: Optional[int] = None,
     return best, results
 
 
+def measure_streaming(batch_size: int = DEFAULT_BATCH_SIZE,
+                      n_rows: int = DEFAULT_ROWS,
+                      machines: int = DEFAULT_MACHINES,
+                      repeats: int = DEFAULT_REPEATS) -> Tuple[float, list]:
+    """The same workload through the continuous runtime.
+
+    Every input relation is replayed as a push source and the resident
+    topology emits live result deltas; the final snapshot must equal the
+    batch engines' answer, so the row doubles as an equivalence check.
+    Measures the cost of running *online* (delta maintenance + watermark
+    bookkeeping) against the finite inline loop."""
+    from repro.streaming import stream_plan
+
+    best = float("inf")
+    results: list = []
+    for _ in range(repeats):
+        plan = multiway_join_plan(n_rows=n_rows, machines=machines)
+        start = time.perf_counter()
+        query = stream_plan(plan, batch_size=batch_size).run()
+        best = min(best, time.perf_counter() - start)
+        results = query.snapshot()
+    return best, results
+
+
 def speedup_table(timings: List[Tuple[str, float]], n_rows: int,
                   machines: int) -> str:
     """ASCII table of runtime / throughput / speedup vs the first entry."""
@@ -159,6 +183,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"ERROR: {label} results differ from inline")
             return 1
         timings.append((label, seconds))
+
+    seconds, results = measure_streaming(
+        batch_size=args.batch_size, n_rows=args.rows,
+        machines=args.machines, repeats=args.repeats)
+    if results != reference:
+        print("ERROR: streaming snapshot differs from inline")
+        return 1
+    timings.append(("streaming", seconds))
 
     print(speedup_table(timings, args.rows, args.machines))
     cores = os.cpu_count() or 1

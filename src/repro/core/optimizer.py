@@ -34,7 +34,7 @@ from repro.engine.component import (
     SourceComponent,
 )
 from repro.engine.operators import AggregateSpec
-from repro.engine.windows import WindowSpec
+from repro.engine.windows import WindowClause, WindowSpec
 from repro.joins.base import JoinSchema
 
 
@@ -75,6 +75,9 @@ class OptimizerOptions:
     source_budget: int = 4
     agg_parallelism: Optional[int] = None
     window: Optional[WindowSpec] = None
+    #: window over the final aggregation (column-name based; the optimizer
+    #: resolves it to a positional WindowSpec on the agg component)
+    agg_window: Optional[WindowClause] = None
     #: SkewDetector heavy-key factor
     heavy_factor: float = 2.0
     #: sample cap per relation when profiling
@@ -302,9 +305,14 @@ class Optimizer:
             qualified_output_name(item.column)
             for item in logical.aggregates if item.column is not None
         ]
+        clause = self.options.agg_window
+        ts_cols = []
+        if clause is not None and clause.ts_column is not None:
+            ts_cols = [qualified_output_name(clause.ts_column)]
         # output scheme: ship only the needed columns out of the joiner
+        # (the window's event-time column must survive the projection)
         needed: List[str] = []
-        for name in group_cols + agg_cols:
+        for name in group_cols + agg_cols + ts_cols:
             if name not in needed:
                 needed.append(name)
         positions = [output_schema.index_of(name) for name in needed]
@@ -326,12 +334,19 @@ class Optimizer:
         key_domain = self._small_key_domain(
             logical, schemas, filtered_rows, parallelism
         )
+        window = None
+        if clause is not None:
+            ts_positions = None
+            if ts_cols:
+                ts_positions = {"": projected_index[ts_cols[0]]}
+            window = WindowSpec(clause.kind, clause.size, ts_positions)
         return AggComponent(
             name="agg",
             group_positions=group_positions,
             aggregates=aggregates,
             parallelism=parallelism,
             key_domain=key_domain,
+            window=window,
         )
 
     def _small_key_domain(self, logical, schemas, filtered_rows, parallelism):
@@ -368,11 +383,21 @@ class Optimizer:
                             schema.index_of(split_qualified(item.column)[1]),
                         )
                     )
+            window = None
+            clause = self.options.agg_window
+            if clause is not None:
+                ts_positions = None
+                if clause.ts_column is not None:
+                    ts_positions = {
+                        "": schema.index_of(split_qualified(clause.ts_column)[1])
+                    }
+                window = WindowSpec(clause.kind, clause.size, ts_positions)
             aggregation = AggComponent(
                 name="agg",
                 group_positions=group_positions,
                 aggregates=aggregates,
                 parallelism=self.options.agg_parallelism or 1,
+                window=window,
             )
         return PhysicalPlan(sources=sources, joins=[], aggregation=aggregation).validate()
 

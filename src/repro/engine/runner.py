@@ -18,7 +18,11 @@ from repro.engine.component import (
     SourceComponent,
 )
 from repro.engine.operators import Aggregation, Projection, Selection
-from repro.engine.windows import WindowedAggregation, WindowedJoinState
+from repro.engine.windows import (
+    SlidingWindowedAggregation,
+    WindowedAggregation,
+    WindowedJoinState,
+)
 from repro.joins.base import LocalJoin
 from repro.joins.hyld import LOCAL_JOINS, SCHEMES
 from repro.partitioning.base import Partitioner
@@ -183,9 +187,31 @@ class JoinBolt(Bolt):
     def state_size(self) -> int:
         return self._local.state_size()
 
+    def advance_watermark(self, watermark) -> List[Tuple[str, tuple]]:
+        """Punctuation hook of the continuous runtime: expire windowed
+        state up to ``watermark``.  Watermarks carry *event time*, so
+        arrival-order windows (no ts columns) ignore them.  Expired join
+        outputs are not retracted downstream (batch parity: window
+        expiration bounds state, it does not rewrite already-emitted
+        results)."""
+        window = self.component.window
+        if (self.state is not self._local and window is not None
+                and window.ts_positions is not None):
+            self.state.advance_time(watermark)
+        return []
+
 
 class AggBolt(Bolt):
-    """One aggregation task: incremental grouped sum/count/avg."""
+    """One aggregation task: incremental grouped sum/count/avg.
+
+    Windowed variants: a *tumbling* window closes and emits
+    ``(window id, group row)`` tuples as event time crosses boundaries; a
+    *sliding* window keeps the aggregate over the trailing ``size`` time
+    units by retracting expired input rows (sign -1), and emits its
+    snapshot at end of stream (the continuous runtime's
+    :class:`repro.streaming.runner.DeltaAggBolt` instead turns every
+    state change into live ``+row/-row`` deltas).
+    """
 
     def __init__(self, component: AggComponent):
         self.component = component
@@ -193,14 +219,31 @@ class AggBolt(Bolt):
             return Aggregation(component.group_positions, component.aggregates)
 
         self.window_state: Optional[WindowedAggregation] = None
+        self.sliding_state: Optional[SlidingWindowedAggregation] = None
         if component.window is not None:
-            self.window_state = WindowedAggregation(factory, component.window)
-        self.aggregation = factory()
+            if component.window.kind == "sliding":
+                if component.online:
+                    raise ValueError(
+                        "sliding-window aggregations run in snapshot mode; "
+                        "online updates are the delta subscription's job "
+                        "(repro.streaming)"
+                    )
+                self.sliding_state = SlidingWindowedAggregation(
+                    factory, component.window)
+            else:
+                self.window_state = WindowedAggregation(factory, component.window)
+        self.aggregation = (
+            self.sliding_state.aggregation if self.sliding_state is not None
+            else factory()
+        )
 
     def execute(self, source: str, stream: str, values: tuple):
         sign = -1 if stream.endswith(RETRACT_SUFFIX) else 1
+        if self.sliding_state is not None:
+            self.sliding_state.consume(values, sign)
+            return []
         if self.window_state is not None:
-            closed = self.window_state.consume(values)
+            closed = self.window_state.consume(values, sign)
             if closed is None:
                 return []
             window_id, rows = closed
@@ -211,8 +254,8 @@ class AggBolt(Bolt):
         return []
 
     def execute_batch(self, source: str, stream: str, rows):
-        if self.window_state is not None:
-            # windowed aggregation closes windows per arrival
+        if self.window_state is not None or self.sliding_state is not None:
+            # windowed aggregation expires/closes windows per arrival
             return Bolt.execute_batch(self, source, stream, rows)
         sign = -1 if stream.endswith(RETRACT_SUFFIX) else 1
         if self.component.online:
@@ -232,6 +275,25 @@ class AggBolt(Bolt):
         if self.component.online:
             return []
         return [(self.component.name, row) for row in self.aggregation.snapshot()]
+
+    def advance_watermark(self, watermark) -> List[Tuple[str, tuple]]:
+        """Punctuation hook: close/expire windows up to ``watermark``.
+
+        Watermarks carry event time; arrival-order windows (no ts
+        columns) ignore them and close per arrival / at end of stream."""
+        window = self.component.window
+        if window is None or window.ts_positions is None:
+            return []
+        if self.sliding_state is not None:
+            self.sliding_state.advance_time(watermark)
+            return []
+        if self.window_state is not None:
+            closed = self.window_state.advance_watermark(watermark)
+            if closed is None:
+                return []
+            window_id, rows = closed
+            return [(self.component.name, (window_id,) + row) for row in rows]
+        return []
 
 
 class SinkBolt(Bolt):
@@ -312,35 +374,43 @@ class RunResult:
         return self.metrics.replication_factor(component, upstream)
 
 
-def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
-             batch_size: int = 1, executor: str = "inline",
-             parallelism: Optional[int] = None) -> RunResult:
-    """Compile a physical plan to a topology and execute it locally.
+def build_topology(
+    plan: PhysicalPlan,
+    spout_factory: Optional[Callable[[SourceComponent], Callable]] = None,
+    agg_bolt_factory: Optional[Callable[[AggComponent], Bolt]] = None,
+    sink_factory: Optional[Callable[[int, int], Bolt]] = None,
+    source_parallelism: Optional[int] = None,
+) -> Tuple[Topology, Dict[str, Partitioner]]:
+    """Compile a physical plan into a topology (plus its partitioners).
 
-    ``batch_size`` is the number of tuples pulled from each spout per
-    round; downstream micro-batches follow from it but are not re-chunked
-    (a join delta larger than ``batch_size`` travels as one batch).  The
-    default of 1 reproduces the per-tuple engine's interleaving exactly;
-    larger values amortize dispatch overhead without changing per-tuple
-    results (the final result multiset and all per-component totals are
-    identical).
+    This is the shared Squall-to-Storm translation used by both the
+    finite executor (:func:`run_plan`) and the continuous runtime
+    (:mod:`repro.streaming`), which swaps in push-driven spouts, a
+    delta-emitting aggregation bolt and a delta sink through the three
+    factory hooks:
 
-    ``executor`` picks the execution backend (``"inline"``, ``"threads"``
-    or ``"processes"``) and ``parallelism`` the number of shared-nothing
-    workers; see :mod:`repro.storm.executor`.  Every backend yields the
-    same result multiset and per-component totals; the process backend
-    additionally requires pickle-safe task state (windowed components
-    hold factory closures and are inline/threads-only)."""
+    - ``spout_factory(source)`` returns the per-task factory for one
+      source component (default: :class:`SourceSpout` over the stored
+      relation);
+    - ``agg_bolt_factory(agg)`` builds one aggregation task (default
+      :class:`AggBolt`);
+    - ``sink_factory`` builds the sink task (default :class:`SinkBolt`);
+    - ``source_parallelism`` overrides every source component's task
+      count (the continuous runtime runs one pump per source).
+    """
     plan.validate()
     builder = TopologyBuilder()
 
     for source in plan.sources:
+        if spout_factory is not None:
+            factory = spout_factory(source)
+        else:
+            def factory(task_index: int, parallelism: int,
+                        source=source) -> SourceSpout:
+                return SourceSpout(source)
 
-        def factory(task_index: int, parallelism: int,
-                    source=source) -> SourceSpout:
-            return SourceSpout(source)
-
-        builder.set_spout(source.name, factory, source.parallelism)
+        builder.set_spout(source.name, factory,
+                          source_parallelism or source.parallelism)
 
     partitioners: Dict[str, Partitioner] = {}
     for join in plan.joins:
@@ -368,9 +438,11 @@ def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
     upstream_of_agg = plan.joins[-1].name if plan.joins else plan.sources[-1].name
     if plan.aggregation is not None:
         agg = plan.aggregation
+        make_agg = agg_bolt_factory or AggBolt
 
-        def agg_factory(task_index: int, parallelism: int, agg=agg) -> AggBolt:
-            return AggBolt(agg)
+        def agg_factory(task_index: int, parallelism: int, agg=agg,
+                        make_agg=make_agg) -> Bolt:
+            return make_agg(agg)
 
         declarer = builder.set_bolt(agg.name, agg_factory, agg.parallelism)
         streams = [upstream_of_agg, upstream_of_agg + RETRACT_SUFFIX]
@@ -392,14 +464,45 @@ def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
 
     last = plan.last_data_component()
 
-    def sink_factory(task_index: int, parallelism: int) -> SinkBolt:
-        return SinkBolt()
+    if sink_factory is None:
+        def sink_factory(task_index: int, parallelism: int) -> SinkBolt:
+            return SinkBolt()
 
     builder.set_bolt(plan.sink.name, sink_factory, 1).global_grouping(
         last, streams=[last, last + RETRACT_SUFFIX]
     )
 
-    topology = builder.build()
+    return builder.build(), partitioners
+
+
+def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
+             batch_size: int = 1, executor: str = "inline",
+             parallelism: Optional[int] = None) -> RunResult:
+    """Compile a physical plan to a topology and execute it locally.
+
+    ``batch_size`` is the number of tuples pulled from each spout per
+    round; downstream micro-batches follow from it but are not re-chunked
+    (a join delta larger than ``batch_size`` travels as one batch).  The
+    default of 1 reproduces the per-tuple engine's interleaving exactly;
+    larger values amortize dispatch overhead without changing per-tuple
+    results (the final result multiset and all per-component totals are
+    identical).  Exception: *windowed* operators downstream of a join
+    expire state in arrival order, and a join can re-emit stored rows
+    with old event timestamps, so windowed results over join outputs are
+    interleaving-sensitive -- they are only batch-size-invariant when the
+    windowed operator's input arrives in event-time order (windows
+    directly over a source, the common case).
+
+    ``executor`` picks the execution backend (``"inline"``, ``"threads"``
+    or ``"processes"``) and ``parallelism`` the number of shared-nothing
+    workers; see :mod:`repro.storm.executor`.  Every backend yields the
+    same result multiset and per-component totals; the process backend
+    additionally requires pickle-safe task state (windowed components
+    hold factory closures and are inline/threads-only).
+
+    For *continuous* execution of the same plan over unbounded push
+    sources, see :func:`repro.streaming.stream_plan`."""
+    topology, partitioners = build_topology(plan)
     cluster = LocalCluster(topology)
     metrics = cluster.run(max_tuples=max_tuples, batch_size=batch_size,
                           executor=executor, parallelism=parallelism)

@@ -10,6 +10,21 @@ of each input relation) or implicit (global arrival order).
 - **Sliding** windows keep the last ``size`` time units: on every arrival,
   stored tuples older than ``ts - size`` are retracted via the local
   join's ``delete`` (DBToaster views handle this as a negative delta).
+  :class:`SlidingWindowedAggregation` applies the same idea to grouped
+  aggregates: expired input rows are consumed with sign -1.
+
+Expiration is driven from two sides.  In a finite (batch) run, every
+arriving tuple's own timestamp advances the clock, and the final window
+closes at end of stream.  In a *continuous* run
+(:class:`repro.streaming.cluster.StreamingCluster`), the watermark
+punctuations of the push sources additionally advance event time through
+the ``advance_time`` / ``advance_watermark`` hooks below, so windows
+close and state expires with bounded lag even when a source goes quiet
+-- see :mod:`repro.streaming.watermarks` for the punctuation protocol.
+Watermarks only ever advance the clock to a time at or below the maximum
+timestamp the sources promise not to precede, so a watermark-driven
+expiration performs exactly the work the next arrival would have; final
+results are identical to the batch run's.
 """
 
 from __future__ import annotations
@@ -19,6 +34,32 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.joins.base import LocalJoin
+
+
+@dataclass(frozen=True)
+class WindowClause:
+    """A front-end window request, by column *name*.
+
+    What ``SqlSession`` / the functional API accept: kind, size and the
+    event-time column (None = arrival order).  The optimizer resolves the
+    column against the physical plan's projections and lowers it to a
+    positional :class:`WindowSpec` on the aggregation component.
+
+    Exact-answer caveat: window expiration is arrival-driven, so the
+    aggregate is only independent of batching/interleaving when its input
+    arrives in event-time order -- true for windows directly over a
+    source, best-effort when a join sits in between (joins re-emit stored
+    rows with old timestamps)."""
+
+    kind: str  # 'tumbling' | 'sliding'
+    size: int
+    ts_column: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in ("tumbling", "sliding"):
+            raise ValueError(f"unknown window kind {self.kind!r}")
+        if self.size <= 0:
+            raise ValueError("window size must be positive")
 
 
 @dataclass(frozen=True)
@@ -87,6 +128,15 @@ class WindowedJoinState:
             self.local.delete(rel_name, row)
             self.expired_tuples += 1
 
+    def advance_time(self, now):
+        """Watermark hook: expire state as if a tuple at ``now`` arrived.
+
+        The continuous runtime calls this when the sources' merged
+        watermark advances, so join state stays bounded even while a
+        relation receives no tuples.  Performs exactly the expiration the
+        next ``insert`` at time >= ``now`` would perform."""
+        self._expire(now)
+
     def state_size(self) -> int:
         return self.local.state_size()
 
@@ -111,8 +161,10 @@ class WindowedAggregation:
         self._aggregation = aggregation_factory()
         self.closed_windows: List[Tuple[int, List[tuple]]] = []
 
-    def consume(self, row: tuple, rel_name: str = "") -> Optional[Tuple[int, List[tuple]]]:
-        """Feed one row; returns (window id, rows) when a window closes."""
+    def consume(self, row: tuple, sign: int = 1,
+                rel_name: str = "") -> Optional[Tuple[int, List[tuple]]]:
+        """Feed one row (sign -1 = retraction, as on ``:retract``
+        streams); returns (window id, rows) when a window closes."""
         ts = self.window.timestamp(rel_name, row, self._arrivals)
         self._arrivals += 1
         window_id = ts // self.window.size
@@ -124,7 +176,7 @@ class WindowedAggregation:
             self.closed_windows.append(closed)
             self._aggregation = self._factory()
             self._current_window = window_id
-        self._aggregation.consume(row)
+        self._aggregation.consume(row, sign)
         return closed
 
     def flush(self) -> Optional[Tuple[int, List[tuple]]]:
@@ -136,3 +188,126 @@ class WindowedAggregation:
         self._aggregation = self._factory()
         self._current_window = None
         return closed
+
+    def advance_watermark(self, watermark) -> Optional[Tuple[int, List[tuple]]]:
+        """Close the open window once the watermark passes its end.
+
+        The continuous runtime's punctuation hook: with the promise that
+        no tuple with timestamp <= ``watermark`` is still in flight, a
+        window ending at or before it can never gain rows, so it is
+        emitted now instead of waiting for the next arrival (or end of
+        stream) to close it.  Returns the closed ``(window id, rows)`` or
+        None if the open window is still live."""
+        if self._current_window is None:
+            return None
+        if watermark < (self._current_window + 1) * self.window.size:
+            return None
+        return self.flush()
+
+
+class SlidingWindowedAggregation:
+    """Sliding-window grouped aggregation via input-side retractions.
+
+    The paper expresses sliding aggregates as retractions over the
+    full-history operator: an input row entering the window is consumed
+    with sign +1, a row sliding out of it with sign -1 (exactly the
+    mechanism the ``:retract`` streams use).  Every state change is
+    reported as an ``(old output row, new output row)`` pair -- either
+    side may be None for group birth/death -- which is what the
+    continuous runtime's delta sinks forward to subscribers as
+    ``(+row / -row)`` deltas.
+
+    Event time advances with every arrival (batch runs) and through
+    :meth:`advance_time` (watermark punctuations of the continuous
+    runtime); :meth:`snapshot` is always the aggregate over rows whose
+    timestamps are within ``(now - size, now]``.
+
+    Rows are stored in arrival order and expired from the front, so the
+    operator assumes event-time-ordered arrival (replayed relations, and
+    any source feeding the aggregation directly).  When a join reorders
+    tuples upstream, expiration becomes arrival-order dependent and the
+    watermark-driven (streaming) semantics is the authoritative one --
+    batch and streaming snapshots are guaranteed to coincide only for
+    in-order inputs.
+    """
+
+    #: one reported state change: (old output row | None, new output row | None)
+    Change = Tuple[Optional[tuple], Optional[tuple]]
+
+    def __init__(self, aggregation_factory, window: WindowSpec):
+        if window.kind != "sliding":
+            raise ValueError(
+                "SlidingWindowedAggregation needs a sliding window; tumbling "
+                "aggregations use WindowedAggregation"
+            )
+        self.window = window
+        self.aggregation = aggregation_factory()
+        self._arrivals = 0
+        self._stored: Deque[Tuple[object, tuple]] = deque()
+        self._max_ts = None  # newest event time this operator has consumed
+        self.expired_rows = 0
+
+    def consume(self, row: tuple, sign: int = 1,
+                rel_name: str = "") -> List["SlidingWindowedAggregation.Change"]:
+        """Feed one (possibly retracted) row; returns the state changes."""
+        changes: List[SlidingWindowedAggregation.Change] = []
+        ts = self.window.timestamp(rel_name, row, self._arrivals)
+        self._arrivals += 1
+        if self._max_ts is None or ts > self._max_ts:
+            self._max_ts = ts
+        self._expire(ts - self.window.size, changes)
+        if sign >= 0:
+            self._apply(row, sign, changes)
+            self._stored.append((ts, row))
+        else:
+            # a compensating retraction removes one stored instance so the
+            # row is not retracted a second time when it expires; if no
+            # instance is stored (the row already slid out of the window,
+            # or was never in it) the retraction is a no-op -- applying it
+            # anyway would double-subtract and leave phantom groups.
+            # O(window) scan: compensation is the rare failure-recovery
+            # path, and the window bounds the cost
+            for i, (_stored_ts, stored_row) in enumerate(self._stored):
+                if stored_row == row:
+                    del self._stored[i]
+                    self._apply(row, sign, changes)
+                    break
+        return changes
+
+    def advance_time(self, now) -> List["SlidingWindowedAggregation.Change"]:
+        """Watermark hook: expire rows older than ``now - size``.
+
+        Expiry is capped at this operator's own newest arrival: a
+        watermark reflects *global* progress, but the snapshot contract
+        with the batch engine is per-partition arrival-driven expiry, and
+        with in-order inputs any arrival at or past the watermark would
+        expire the same rows anyway.  The cap only defers expiry for a
+        partition whose stream went quiet -- it never changes what a
+        later arrival (or the final snapshot) observes."""
+        if self._max_ts is None:
+            return []
+        changes: List[SlidingWindowedAggregation.Change] = []
+        self._expire(min(now, self._max_ts) - self.window.size, changes)
+        return changes
+
+    def _expire(self, horizon, changes):
+        while self._stored and self._stored[0][0] <= horizon:
+            _ts, row = self._stored.popleft()
+            self._apply(row, -1, changes)
+            self.expired_rows += 1
+
+    def _apply(self, row, sign, changes):
+        key = self.aggregation.key_of(row)
+        old = self.aggregation.current(key)
+        self.aggregation.consume(row, sign)
+        new = self.aggregation.current(key)
+        if old != new:
+            changes.append((old, new))
+
+    def snapshot(self) -> List[tuple]:
+        """Current within-window groups (what the batch engine emits at
+        end of stream)."""
+        return self.aggregation.snapshot()
+
+    def state_size(self) -> int:
+        return len(self._stored)

@@ -190,6 +190,16 @@ class Stream:
         """Run the stream as a full-result query (join output, no grouping)."""
         return _execute(self._context, self.logical_plan(), option_overrides)
 
+    def stream(self, **option_overrides):
+        """Run the query *continuously* over replayed push sources.
+
+        The terminal counterpart of :meth:`execute` for long-lived
+        queries: returns a :class:`repro.streaming.StreamingQuery`
+        emitting live result deltas.  Accepts the same optimizer
+        overrides plus ``batch_size``, ``executor`` ('inline' |
+        'threads') and ``rate`` (replayed rows/second per source)."""
+        return _stream(self._context, self.logical_plan(), option_overrides)
+
 
 class GroupedStream:
     """A stream with grouping applied; terminal aggregate calls execute it."""
@@ -221,19 +231,48 @@ class GroupedStream:
     def execute(self, **option_overrides) -> RunResult:
         return _execute(self._stream._context, self.logical_plan(), option_overrides)
 
+    def stream(self, **option_overrides):
+        """Continuous counterpart of :meth:`execute`: live delta feed of
+        the grouped aggregates (see :meth:`Stream.stream`)."""
+        return _stream(self._stream._context, self.logical_plan(),
+                       option_overrides)
+
+
+def _compile(context: QueryContext, logical: LogicalPlan, overrides: dict):
+    import dataclasses
+
+    options = context.options
+    if overrides:
+        options = dataclasses.replace(options, **overrides)
+    return options, Optimizer(context.catalog, options).compile(logical)
+
 
 def _execute(context: QueryContext, logical: LogicalPlan,
              overrides: dict) -> RunResult:
-    import dataclasses
-
     # execution knobs ride along with the optimizer overrides: batch_size
     # sets micro-batch granularity, executor/parallelism pick the backend
     batch_size = overrides.pop("batch_size", 1)
     executor = overrides.pop("executor", "inline")
     parallelism = overrides.pop("parallelism", None)
-    options = context.options
-    if overrides:
-        options = dataclasses.replace(options, **overrides)
-    physical = Optimizer(context.catalog, options).compile(logical)
+    _options, physical = _compile(context, logical, overrides)
     return run_plan(physical, batch_size=batch_size, executor=executor,
                     parallelism=parallelism)
+
+
+def _stream(context: QueryContext, logical: LogicalPlan, overrides: dict):
+    from repro.streaming.runner import agg_window_ts_positions, stream_plan
+
+    batch_size = overrides.pop("batch_size", 64)
+    executor = overrides.pop("executor", "inline")
+    rate = overrides.pop("rate", None)
+    if "parallelism" in overrides:
+        raise ValueError(
+            "the streaming runtime has no parallelism knob: "
+            "executor='threads' runs every task in its own worker thread "
+            "(drop parallelism=, or use .execute() for the staged backends)"
+        )
+    options, physical = _compile(context, logical, overrides)
+    ts_positions = agg_window_ts_positions(
+        context.catalog, logical.scans, options.agg_window)
+    return stream_plan(physical, batch_size=batch_size, executor=executor,
+                       rate=rate, ts_positions=ts_positions)

@@ -58,3 +58,25 @@ class SqlSession:
         the same result multiset."""
         return run_plan(self.plan(sql), batch_size=batch_size,
                         executor=executor, parallelism=parallelism)
+
+    def stream(self, sql: str, batch_size: int = 64,
+               executor: str = "inline", rate: Optional[float] = None):
+        """Run a query *continuously*: the registered relations are
+        replayed as rate-limited push sources and the query stays
+        resident, emitting live ``(+row / -row)`` result deltas.
+
+        Returns a :class:`repro.streaming.StreamingQuery`: iterate it for
+        deltas, ``.run()`` to drive it to source exhaustion, and
+        ``.snapshot()`` for the current result multiset -- which, once
+        the sources are exhausted, equals ``execute(sql).results`` on the
+        same data.  Window semantics come from the session options
+        (``OptimizerOptions.agg_window`` / ``window``); watermarks follow
+        the window's event-time column."""
+        from repro.streaming.runner import agg_window_ts_positions, stream_plan
+
+        logical = parse_query(sql, self._schemas())
+        physical = Optimizer(self.catalog, self.options).compile(logical)
+        ts_positions = agg_window_ts_positions(
+            self.catalog, logical.scans, self.options.agg_window)
+        return stream_plan(physical, batch_size=batch_size, executor=executor,
+                           rate=rate, ts_positions=ts_positions)

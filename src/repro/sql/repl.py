@@ -11,10 +11,16 @@ Meta-commands (everything else is executed as SQL):
     \\tables                 list registered relations
     \\schema <table>         show a relation's schema
     \\explain <sql>          logical + physical plan without executing
+    \\watch <sql>            run continuously, printing live result deltas
+    \\set                    list every option and its current value
     \\set machines <n>       joiner parallelism
     \\set scheme <name>      auto | hash | random | hybrid
     \\set mode <name>        multiway | pipeline
     \\set local <name>       dbtoaster | traditional
+    \\set batch_size <n>     micro-batch granularity (>= 1)
+    \\set executor <name>    inline | threads | processes
+    \\set parallelism <n>    shared-nothing workers (auto = pick)
+    \\set watch_rate <n>     \\watch replay rows/sec (none = unthrottled)
     \\help                   this text
     \\quit                   leave the shell
 """
@@ -24,6 +30,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.sql.catalog import SqlSession
+from repro.storm.executor import EXECUTOR_NAMES
 
 HELP_TEXT = __doc__.split("Meta-commands", 1)[1]
 
@@ -39,6 +46,12 @@ class SquallShell:
         self.session = session or SqlSession()
         self.finished = False
         self.max_rows = 20
+        # execution knobs (PR 1/2) -- threaded into session.execute()
+        self.batch_size = 1
+        self.executor = "inline"
+        self.parallelism: Optional[int] = None
+        #: rows/second per replayed source for \watch (None = unthrottled)
+        self.watch_rate: Optional[float] = None
 
     # -- command dispatch ---------------------------------------------------
 
@@ -84,13 +97,37 @@ class SquallShell:
                 return self.session.explain(sql)
             except Exception as exc:  # surface parser/planner errors
                 return f"error: {exc}"
+        if command == "\\watch":
+            sql = line[len("\\watch"):].strip()
+            if not sql:
+                return "usage: \\watch <sql>"
+            return self._watch_sql(sql)
         if command == "\\set":
             return self._set_option(args)
         return f"unknown command {command!r}; try \\help"
 
+    def _list_options(self) -> str:
+        options = self.session.options
+        parallelism = "auto" if self.parallelism is None else self.parallelism
+        watch_rate = "none" if self.watch_rate is None else self.watch_rate
+        return "\n".join([
+            f"machines = {options.machines}",
+            f"scheme = {options.scheme}",
+            f"mode = {options.mode}",
+            f"local = {options.local_join}",
+            f"batch_size = {self.batch_size}",
+            f"executor = {self.executor}",
+            f"parallelism = {parallelism}",
+            f"watch_rate = {watch_rate}",
+        ])
+
     def _set_option(self, args: List[str]) -> str:
+        if not args:
+            return self._list_options()
         if len(args) != 2:
-            return "usage: \\set <machines|scheme|mode|local> <value>"
+            return ("usage: \\set <machines|scheme|mode|local|batch_size"
+                    "|executor|parallelism|watch_rate> <value>  "
+                    "(\\set alone lists all)")
         option, value = args
         options = self.session.options
         if option == "machines":
@@ -114,11 +151,89 @@ class SquallShell:
                 return "local must be dbtoaster | traditional"
             options.local_join = value
             return f"local = {value}"
+        if option == "batch_size":
+            try:
+                batch_size = int(value)
+            except ValueError:
+                return "batch_size must be an integer"
+            if batch_size < 1:
+                return "batch_size must be >= 1"
+            self.batch_size = batch_size
+            return f"batch_size = {batch_size}"
+        if option == "executor":
+            if value not in EXECUTOR_NAMES:
+                return "executor must be " + " | ".join(EXECUTOR_NAMES)
+            self.executor = value
+            return f"executor = {value}"
+        if option == "parallelism":
+            if value == "auto":
+                self.parallelism = None
+                return "parallelism = auto"
+            try:
+                parallelism = int(value)
+            except ValueError:
+                return "parallelism must be an integer or auto"
+            if parallelism < 1:
+                return "parallelism must be >= 1"
+            self.parallelism = parallelism
+            return f"parallelism = {parallelism}"
+        if option == "watch_rate":
+            if value == "none":
+                self.watch_rate = None
+                return "watch_rate = none"
+            try:
+                rate = float(value)
+            except ValueError:
+                return "watch_rate must be a number or none"
+            if rate <= 0:
+                return "watch_rate must be positive"
+            self.watch_rate = rate
+            return f"watch_rate = {rate:g}"
         return f"unknown option {option!r}"
+
+    def _watch_sql(self, sql: str) -> str:
+        """Continuous execution: stream the query, render its deltas.
+
+        The replayed sources are finite, so the watch runs to exhaustion
+        and reports the final snapshot; with a real push source it would
+        keep printing deltas for as long as the query lives."""
+        notes = []
+        executor = self.executor
+        if executor == "processes":
+            # tell the user, don't silently ignore their \set
+            notes.append("-- note: the staged 'processes' backend cannot "
+                         "keep a topology resident; watching inline")
+            executor = "inline"
+        try:
+            query = self.session.stream(
+                sql, batch_size=self.batch_size, executor=executor,
+                rate=self.watch_rate)
+            lines = list(notes)
+            shown = 0
+            for delta in query:
+                if shown < self.max_rows:
+                    sign = "+" if delta.sign > 0 else "-"
+                    values = " | ".join(str(value) for value in delta.row)
+                    lines.append(f"{sign} {values}")
+                shown += 1
+        except Exception as exc:
+            return f"error: {exc}"
+        if shown > self.max_rows:
+            lines.append(f"... ({shown} deltas total)")
+        stats = query.stats()
+        snapshot = query.snapshot()
+        lines.append(
+            f"-- watch complete: {shown} deltas; {len(snapshot)} rows in "
+            f"final snapshot; {stats['events']} events at "
+            f"{stats['events_per_sec']:,.0f} events/sec"
+        )
+        return "\n".join(lines)
 
     def _run_sql(self, sql: str) -> str:
         try:
-            result = self.session.execute(sql)
+            result = self.session.execute(
+                sql, batch_size=self.batch_size, executor=self.executor,
+                parallelism=self.parallelism)
         except Exception as exc:
             return f"error: {exc}"
         lines = []

@@ -129,7 +129,43 @@ class LocalCluster:
                 if len(emissions) == limit:
                     still_active.append((name, task_index, spout))
             active = still_active
-        # flush: upstream components finish before downstream ones
+        self.flush_bolts()
+        return self.metrics
+
+    # -- external drivers (continuous runtime) -----------------------------
+
+    def set_coalescing(self, coalesce: bool):
+        """Batch-mode routing toggle for external drivers.
+
+        With coalescing on, consecutive emissions on one stream are routed
+        as a single micro-batch; off reproduces the seed engine's
+        per-tuple dispatch order.  ``run`` derives this from its
+        ``batch_size``; push-based drivers (the streaming pump) set it
+        once up front."""
+        self._coalesce = coalesce
+
+    def inject(self, source: str, emissions: List[Tuple[str, tuple]],
+               task_index: int = 0):
+        """Route externally produced emissions and run them to quiescence.
+
+        The push-based entry point of the continuous runtime
+        (:class:`repro.streaming.cluster.StreamingCluster`): each arriving
+        micro-batch of a *resident* topology is fed here, attributed to
+        task ``task_index`` of component ``source``, and driven through
+        the same work-stack drain as spout batches."""
+        if not emissions:
+            return
+        self.metrics.record_emit(source, task_index, len(emissions))
+        self.metrics.record_batch(source, task_index)
+        stack: List[_WorkItem] = []
+        self._push(stack, self._route_emissions(source, emissions))
+        self._drain(stack)
+
+    def flush_bolts(self):
+        """Run every bolt's ``finish()`` in topological order (end of
+        stream): upstream components finish before downstream ones, so a
+        snapshot aggregation flushes only after all its input arrived."""
+        stack: List[_WorkItem] = []
         for name in self.topology.topological_order():
             spec = self.topology.components[name]
             if spec.is_spout:
@@ -141,7 +177,6 @@ class LocalCluster:
                 self.metrics.record_emit(name, task_index, len(emissions))
                 self._push(stack, self._route_emissions(name, emissions))
                 self._drain(stack)
-        return self.metrics
 
     # -- work queue --------------------------------------------------------
 

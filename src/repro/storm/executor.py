@@ -62,6 +62,29 @@ def default_parallelism() -> int:
     return max(1, min(4, os.cpu_count() or 1))
 
 
+def ensure_task_local_routing(topology: Topology, executor: str):
+    """Refuse topologies whose routing cannot be replicated per worker.
+
+    A grouping backed by a partitioner that *adapts to the globally
+    observed stream* (e.g. :class:`~repro.partitioning.adaptive.\
+AdaptiveOneBucket`) cannot be deep-copied into shared-nothing workers:
+    each copy would see only its slice of the stream, reshape differently,
+    and silently lose join matches.  Raises a dedicated
+    :class:`ExecutorError` naming the offending partitioner and the
+    executor that can still run the plan.
+    """
+    for edge in topology.edges:
+        if not edge.grouping.supports_task_local_routing():
+            raise ExecutorError(
+                f"the {executor!r} executor cannot run this topology: edge "
+                f"{edge.source}->{edge.target} routes through "
+                f"{edge.grouping.routing_description()}, whose decisions "
+                f"adapt to the globally observed stream; worker-local "
+                f"copies would diverge and silently lose matches -- run "
+                f"this plan with executor='inline'"
+            )
+
+
 def topological_levels(topology: Topology) -> List[List[str]]:
     """Components grouped by longest-path depth from the sources.
 
@@ -381,15 +404,7 @@ class StagedExecutor:
             raise ExecutorError(f"parallelism must be >= 1, got {requested}")
         self.n_workers = min(requested, n_tasks)
         self.assignment = assign_tasks(cluster.topology, self.n_workers)
-        for edge in cluster.topology.edges:
-            if not edge.grouping.supports_task_local_routing():
-                raise ExecutorError(
-                    f"edge {edge.source}->{edge.target} routes through "
-                    f"{type(edge.grouping).__name__} whose decisions adapt "
-                    f"to the globally observed stream; worker-local copies "
-                    f"would diverge and silently lose matches -- run this "
-                    f"topology with executor='inline'"
-                )
+        ensure_task_local_routing(cluster.topology, self.name)
 
     # -- backend hooks -----------------------------------------------------
 

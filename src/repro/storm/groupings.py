@@ -86,6 +86,14 @@ class Grouping:
         """
         return True
 
+    def routing_description(self) -> str:
+        """What routes this edge, for human-readable refusal messages.
+
+        Groupings that delegate to another object (a partitioner) override
+        this to name the delegate, so errors point at the actual culprit
+        rather than the grouping wrapper."""
+        return type(self).__name__
+
 
 class ShuffleGrouping(Grouping):
     """Round-robin distribution -- content-insensitive."""
@@ -219,6 +227,10 @@ class HypercubeGrouping(Grouping):
 
     def supports_task_local_routing(self) -> bool:
         return self.partitioner.supports_task_local_routing()
+
+    def routing_description(self) -> str:
+        return (f"the {type(self.partitioner).__name__} partitioner "
+                f"(relation {self.rel_name!r})")
 
 
 class KeyMappedGrouping(Grouping):

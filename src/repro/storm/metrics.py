@@ -12,8 +12,11 @@
 
 from __future__ import annotations
 
+import threading
+import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -103,3 +106,85 @@ class TopologyMetrics:
             )
         lines.append(f"network tuples: {self.total_network_tuples()}")
         return "\n".join(lines)
+
+
+class StreamMetrics:
+    """Live progress monitors of a *continuous* run (repro.streaming).
+
+    A long-lived query has no final RunResult to inspect, so the
+    streaming cluster keeps a rolling view instead: event throughput over
+    a trailing wall-clock window, the current event-time watermark, and
+    the **event-time lag** (newest event timestamp seen minus the
+    watermark -- how far window results trail the stream's own clock).
+    All methods are thread-safe; the threads executor's pump and workers
+    record concurrently.
+    """
+
+    def __init__(self, clock=time.monotonic, horizon: float = 5.0):
+        self._clock = clock
+        self.horizon = horizon
+        self._lock = threading.Lock()
+        #: (wall time, count) of recent source polls, pruned to `horizon`
+        self._events: Deque[Tuple[float, int]] = deque()
+        self.total_events = 0
+        self.watermark: Optional[float] = None
+        self.max_event_time: Optional[float] = None
+        self.started_at = clock()
+
+    def record_events(self, count: int, event_time=None):
+        """Record ``count`` source rows entering the dataplane."""
+        now = self._clock()
+        with self._lock:
+            self.total_events += count
+            self._events.append((now, count))
+            self._prune(now)
+            if event_time is not None and (
+                    self.max_event_time is None
+                    or event_time > self.max_event_time):
+                self.max_event_time = event_time
+
+    def record_watermark(self, watermark):
+        with self._lock:
+            if self.watermark is None or watermark > self.watermark:
+                self.watermark = watermark
+
+    def _prune(self, now: float):
+        horizon = now - self.horizon
+        events = self._events
+        while events and events[0][0] < horizon:
+            events.popleft()
+
+    # -- snapshots ---------------------------------------------------------
+
+    def events_per_second(self) -> float:
+        """Throughput over the trailing ``horizon`` seconds."""
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            if not self._events:
+                return 0.0
+            span = max(now - self._events[0][0], 1e-9)
+            return sum(count for _ts, count in self._events) / span
+
+    def event_time_lag(self) -> Optional[float]:
+        """Newest event timestamp minus the watermark (event-time units).
+
+        None until both are known.  Zero means window results are fully
+        caught up with everything the sources have emitted."""
+        with self._lock:
+            if self.watermark is None or self.max_event_time is None:
+                return None
+            return max(0, self.max_event_time - self.watermark)
+
+    def snapshot(self) -> Dict[str, object]:
+        """One live progress snapshot (the REPL's \\watch footer).
+
+        The streaming cluster's ``stats_snapshot`` adds a ``deltas``
+        entry read off its sinks."""
+        return {
+            "events": self.total_events,
+            "events_per_sec": round(self.events_per_second(), 1),
+            "watermark": self.watermark,
+            "event_time_lag": self.event_time_lag(),
+            "uptime_sec": round(self._clock() - self.started_at, 3),
+        }

@@ -1,0 +1,517 @@
+"""StreamingCluster: a resident topology pumping unbounded push sources.
+
+Where :class:`~repro.storm.cluster.LocalCluster` *drains* a finite
+topology and stops, the streaming cluster keeps the topology alive:
+sources push micro-batches in whenever they have data, every batch runs
+through the exact same ``Grouping.targets_batch`` / ``execute_batch``
+dataplane (no per-tuple regression), watermark punctuations drive window
+expiration between batches, and the :class:`~repro.streaming.deltas.\
+DeltaSink` at the bottom feeds live ``+row/-row`` deltas to subscribers.
+
+Two executors:
+
+- ``inline`` -- a single-threaded pump loop over the resident
+  :class:`LocalCluster`.  Each round polls every source for one
+  micro-batch, drives it to quiescence depth-first (identical scheduling
+  to ``LocalCluster.run``, so at equal batch size the delivery order --
+  and hence every per-task counter -- matches the finite engine), then
+  advances the merged watermark at the quiescent point.
+- ``threads`` -- one worker thread per bolt task, fed through a
+  **bounded queue** (``queue_capacity`` micro-batches).  A full queue
+  blocks the producer's ``put`` -- backpressure propagates hop by hop
+  from a slow consumer back to the source pumps.  Watermark and
+  end-of-stream punctuations travel through the same FIFO queues as
+  data and are merged per upstream task, so a promise can never overtake
+  the rows it vouches for.  Routing state is cloned per worker
+  (``Grouping.task_local``); partitioners that adapt to the globally
+  observed stream are refused up front, exactly as in
+  :mod:`repro.storm.executor`.
+
+Both executors produce the same final snapshot as ``run_plan`` on the
+same data; the inline executor at equal ``batch_size`` reproduces the
+finite engine's interleaving exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.operators import Projection, Selection
+from repro.storm.cluster import LocalCluster
+from repro.storm.executor import (
+    ExecutorError,
+    Router,
+    ensure_task_local_routing,
+)
+from repro.storm.metrics import StreamMetrics
+from repro.storm.topology import Topology
+from repro.streaming.deltas import DeltaSink, Subscription
+from repro.streaming.sources import Emission, PushSource
+from repro.streaming.watermarks import WatermarkTracker
+
+STREAMING_EXECUTORS = ("inline", "threads")
+
+#: message kinds flowing through a worker task's queue
+_DATA, _WM, _EOS = "data", "wm", "eos"
+
+
+class SourcePump:
+    """Feeds one push source into the dataplane.
+
+    Applies the source component's co-located selection/projection (the
+    same operators the batch :class:`~repro.engine.runner.SourceSpout`
+    runs in-task), so a replayed relation enters the topology exactly as
+    it would in a finite run.
+    """
+
+    def __init__(self, name: str, source: PushSource,
+                 selection: Optional[Selection] = None,
+                 projection: Optional[Projection] = None):
+        self.name = name
+        self.source = source
+        self.selection = selection
+        self.projection = projection
+        self.emitted = 0
+        #: raw rows the last poll pulled, pre-selection: a fully filtered
+        #: batch still *advanced the source* and counts as progress
+        self.last_poll_raw = 0
+
+    def poll(self, max_rows: int) -> List[Emission]:
+        emissions = self.source.poll(max_rows)
+        self.last_poll_raw = len(emissions)
+        if not emissions:
+            return emissions
+        if self.selection is not None:
+            apply = self.selection.apply
+            emissions = [(stream, row) for stream, row in emissions
+                         if apply(row) is not None]
+        if self.projection is not None:
+            apply = self.projection.apply
+            emissions = [(stream, apply(row)) for stream, row in emissions]
+        self.emitted += len(emissions)
+        return emissions
+
+    def watermark(self) -> Optional[float]:
+        return self.source.watermark()
+
+    def exhausted(self) -> bool:
+        return self.source.exhausted()
+
+
+class StreamingCluster:
+    """A continuously running topology over push sources.
+
+    ``sources`` maps each spout component name to the
+    :class:`PushSource` that stands in for it; emissions are attributed
+    to task 0 of that component.  Use :meth:`subscribe` before running to
+    observe deltas, :meth:`run` (or repeated :meth:`step` under the
+    inline executor) to drive the query, and :meth:`snapshot` for the
+    current result multiset.
+    """
+
+    def __init__(self, topology: Topology, sources: Dict[str, PushSource],
+                 batch_size: int = 64, executor: str = "inline",
+                 queue_capacity: int = 128,
+                 source_operators: Optional[
+                     Dict[str, Tuple[Optional[Selection],
+                                     Optional[Projection]]]] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 idle_sleep: float = 0.0005):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if executor not in STREAMING_EXECUTORS:
+            raise ExecutorError(
+                f"unknown streaming executor {executor!r}; choose one of "
+                f"{STREAMING_EXECUTORS} (the staged 'processes' backend "
+                f"cannot keep a topology resident)"
+            )
+        spout_names = sorted(
+            name for name, spec in topology.components.items() if spec.is_spout
+        )
+        if sorted(sources) != spout_names:
+            raise ValueError(
+                f"sources {sorted(sources)} do not match the topology's "
+                f"spout components {spout_names}"
+            )
+        if executor == "threads":
+            ensure_task_local_routing(topology, "threads")
+        self.topology = topology
+        self.batch_size = batch_size
+        self.executor = executor
+        self.queue_capacity = queue_capacity
+        self.idle_sleep = idle_sleep
+        self.cluster = LocalCluster(topology)
+        self.cluster.set_coalescing(batch_size > 1)
+        self.metrics = self.cluster.metrics
+        self.stats = StreamMetrics(clock=clock)
+        operators = source_operators or {}
+        self._pumps: Dict[str, SourcePump] = {
+            name: SourcePump(name, source, *operators.get(name, (None, None)))
+            for name, source in sources.items()
+        }
+        self._source_wm = WatermarkTracker()
+        for name in self._pumps:
+            self._source_wm.register(name)
+        # punctuation is sound only when every source carries event time:
+        # a timestamp-less source's rows can join against stored state and
+        # resurrect old event times, so no promise can be made for it
+        self._event_time = all(
+            pump.source.has_event_time() for pump in self._pumps.values()
+        )
+        self._finished_sources: set = set()
+        self._final_watermarks: List[float] = []
+        self._broadcast_wm: Optional[float] = None
+        self._done = threading.Event()
+        self._started = False
+        self._lock = threading.Lock()  # metrics + shared state (threads mode)
+        self._bolt_tasks: List[Tuple[str, int, object]] = [
+            (name, task_index, task)
+            for name in topology.topological_order()
+            if not topology.components[name].is_spout
+            for task_index, task in enumerate(self.cluster.tasks(name))
+        ]
+        self._sinks: List[DeltaSink] = [
+            task for _n, _i, task in self._bolt_tasks
+            if isinstance(task, DeltaSink)
+        ]
+        self._threads: List[threading.Thread] = []
+        self._worker_error: List[str] = []
+
+    # -- public surface ----------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def subscribe(self) -> Subscription:
+        """Subscribe to the sink's delta feed."""
+        if not self._sinks:
+            raise ValueError(
+                "topology has no DeltaSink; build it with a streaming sink "
+                "to subscribe to result deltas"
+            )
+        return self._sinks[0].subscribe()
+
+    def snapshot(self) -> List[tuple]:
+        """Current result multiset (sorted)."""
+        if not self._sinks:
+            raise ValueError("topology has no DeltaSink")
+        return self._sinks[0].snapshot()
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Live progress snapshot, with delta totals read off the sinks."""
+        snapshot = self.stats.snapshot()
+        snapshot["deltas"] = sum(sink.delta_count for sink in self._sinks)
+        return snapshot
+
+    def run(self):
+        """Drive the query until every source is exhausted and the
+        topology flushed.  Under ``threads`` this starts the workers (if
+        needed) and blocks until completion."""
+        if self.executor == "threads":
+            self.start()
+            self._done.wait()
+            self._raise_worker_error()
+            return self.metrics
+        while not self.done:
+            if not self.step():
+                time.sleep(self.idle_sleep)
+        return self.metrics
+
+    def start(self):
+        """Start background execution (threads executor only; the inline
+        executor is driven by the caller through step()/run())."""
+        if self.executor != "threads":
+            self._started = True
+            return
+        if self._started:
+            return
+        self._started = True
+        self._start_threads()
+
+    def advance(self, timeout: float = 0.05) -> bool:
+        """One scheduling quantum for delta iterators: inline runs one
+        pump round; threads waits briefly for background progress."""
+        if self.executor == "threads":
+            self.start()
+            self._done.wait(timeout)
+            self._raise_worker_error()
+            return self.done
+        if not self.step():
+            time.sleep(self.idle_sleep)
+        return self.done
+
+    # -- inline executor ---------------------------------------------------
+
+    def step(self) -> bool:
+        """One inline pump round; returns whether any progress was made.
+
+        Polls every live source for at most one micro-batch, drives each
+        batch to quiescence, then -- at the quiescent point, where no
+        data is in flight anywhere -- advances the merged watermark and
+        finally flushes the topology once all sources are exhausted.
+        """
+        if self.executor != "inline":
+            raise ExecutorError(
+                "step() drives the inline executor; the threads executor "
+                "runs in the background (use run(), advance() or the "
+                "delta iterator)"
+            )
+        if self.done:
+            return False
+        progressed = False
+        cluster = self.cluster
+        for name, pump in self._pumps.items():
+            if name in self._finished_sources:
+                continue
+            emissions = pump.poll(self.batch_size)
+            if pump.last_poll_raw:
+                progressed = True  # even a fully filtered batch advanced
+            if emissions:
+                self.stats.record_events(
+                    len(emissions), pump.source.max_event_time)
+                cluster.inject(name, emissions)
+            if pump.exhausted():
+                # also reached by sources that were empty to begin with:
+                # they must still mark themselves done, or the merged
+                # watermark stays undefined for the whole run.  The final
+                # watermark is recorded first -- it covers the last batch.
+                progressed = True
+                watermark = pump.watermark()
+                if watermark is not None and watermark != math.inf:
+                    self._source_wm.update(name, watermark)
+                    self._final_watermarks.append(watermark)
+                self._finished_sources.add(name)
+                self._source_wm.mark_done(name)
+            else:
+                watermark = pump.watermark()
+                if watermark is not None:
+                    self._source_wm.update(name, watermark)
+        if self._event_time and self._advance_watermark(
+                self._source_wm.merged()):
+            progressed = True
+        if len(self._finished_sources) == len(self._pumps):
+            if self._event_time and self._final_watermarks:
+                # all promises are in: catch windows up to the final
+                # watermark before the flush (same rows either way; this
+                # also settles stats -- lag reaches its true final value)
+                self._advance_watermark(min(self._final_watermarks))
+            cluster.flush_bolts()  # DeltaSink.finish closes subscriptions
+            self._done.set()
+            progressed = True
+        return progressed
+
+    def _advance_watermark(self, merged: Optional[float]) -> bool:
+        """Broadcast a *finite* watermark advance to every windowed task.
+
+        ``inf`` (no live input constrains event time) is never used to
+        expire windows: end-of-stream closure is the flush's job, and
+        expiring the trailing sliding window early would diverge from the
+        batch engine's final snapshot."""
+        if merged is None or merged == math.inf:
+            return False
+        if self._broadcast_wm is not None and merged <= self._broadcast_wm:
+            return False
+        self._broadcast_wm = merged
+        self.stats.record_watermark(merged)
+        for name, task_index, task in self._bolt_tasks:
+            hook = getattr(task, "advance_watermark", None)
+            if hook is None:
+                continue
+            emissions = hook(merged)
+            if emissions:
+                self.cluster.inject(name, emissions, task_index=task_index)
+        return True
+
+    # -- threads executor --------------------------------------------------
+
+    def _start_threads(self):
+        topology = self.topology
+        self._queues: Dict[Tuple[str, int], "queue.Queue"] = {}
+        for name, task_index, _task in self._bolt_tasks:
+            self._queues[(name, task_index)] = queue.Queue(self.queue_capacity)
+        # per-bolt upstream task keys (who must punctuate before we act)
+        self._upstream_keys: Dict[str, List[Tuple[str, int]]] = {}
+        # per-component downstream tasks (who receives our punctuations)
+        self._downstream: Dict[str, List[Tuple[str, int]]] = {}
+        for name, spec in topology.components.items():
+            ups: List[Tuple[str, int]] = []
+            for up in topology.upstream(name):
+                up_spec = topology.components[up]
+                count = 1 if up_spec.is_spout else up_spec.parallelism
+                ups.extend((up, i) for i in range(count))
+            self._upstream_keys[name] = ups
+            downs: List[Tuple[str, int]] = []
+            for target in sorted({e.target for e in topology.out_edges(name)}):
+                downs.extend(
+                    (target, i)
+                    for i in range(topology.components[target].parallelism)
+                )
+            self._downstream[name] = downs
+        for name, task_index, task in self._bolt_tasks:
+            thread = threading.Thread(
+                target=self._worker_loop, args=(name, task_index, task),
+                name=f"stream-{name}-{task_index}", daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+        pump_thread = threading.Thread(
+            target=self._pump_loop, name="stream-pump", daemon=True)
+        self._threads.append(pump_thread)
+        pump_thread.start()
+
+    def _dispatch(self, router: Router, source: str,
+                  emissions: Sequence[Emission]):
+        """Route one component's emissions into the owning task queues.
+
+        ``Queue.put`` blocks when the target queue is full: this is the
+        backpressure edge -- a slow consumer stalls its producers, and
+        transitively the source pumps."""
+        for target, task, src, stream, rows in router.route(
+                source, list(emissions), coalesce=self.batch_size > 1):
+            self._queues[(target, task)].put((_DATA, src, stream, rows))
+
+    def _broadcast(self, source: str, message: tuple):
+        for key in self._downstream[source]:
+            self._queues[key].put(message)
+
+    def _pump_loop(self):
+        try:
+            router = Router(self.topology, clone=True)
+            live = dict(self._pumps)
+            tracker = WatermarkTracker()  # stats-side merge of the promises
+            last_sent: Dict[str, Optional[float]] = {name: None for name in live}
+            for name in live:
+                tracker.register(name)
+            while live:
+                progressed = False
+                for name in list(live):
+                    pump = live[name]
+                    emissions = pump.poll(self.batch_size)
+                    if pump.last_poll_raw:
+                        progressed = True
+                    if emissions:
+                        with self._lock:
+                            self.metrics.record_emit(name, 0, len(emissions))
+                            self.metrics.record_batch(name, 0)
+                        self.stats.record_events(
+                            len(emissions), pump.source.max_event_time)
+                        self._dispatch(router, name, emissions)
+                    if pump.exhausted():
+                        progressed = True
+                        # the final promise covers the last batch; send it
+                        # ahead of EOS so windows catch up before finish()
+                        self._send_source_watermark(
+                            tracker, last_sent, name, pump)
+                        tracker.mark_done(name)
+                        self._broadcast(name, (_EOS, (name, 0)))
+                        del live[name]
+                        continue
+                    self._send_source_watermark(tracker, last_sent, name, pump)
+                if not progressed:
+                    time.sleep(self.idle_sleep)
+            # workers cascade EOS downstream and exit on their own
+            for thread in self._threads:
+                if thread is not threading.current_thread():
+                    thread.join()
+        except Exception:  # pragma: no cover - defensive
+            import traceback
+            self._worker_error.append(traceback.format_exc())
+        finally:
+            self._done.set()
+
+    def _send_source_watermark(self, tracker: WatermarkTracker,
+                               last_sent: Dict[str, Optional[float]],
+                               name: str, pump: SourcePump):
+        """Broadcast one source's advanced promise (event-time mode only)."""
+        if not self._event_time:
+            return
+        watermark = pump.watermark()
+        if watermark is None or (
+                last_sent[name] is not None and watermark <= last_sent[name]):
+            return
+        last_sent[name] = watermark
+        tracker.update(name, watermark)
+        merged = tracker.merged()
+        if merged is not None and merged != math.inf:
+            self.stats.record_watermark(merged)
+        self._broadcast(name, (_WM, (name, 0), watermark))
+
+    def _worker_loop(self, name: str, task_index: int, bolt):
+        try:
+            inbox = self._queues[(name, task_index)]
+            router = Router(self.topology, clone=True)
+            tracker = WatermarkTracker()
+            for key in self._upstream_keys[name]:
+                tracker.register(key)
+            last_wm: Optional[float] = None
+            hook = getattr(bolt, "advance_watermark", None)
+
+            def advance_merged():
+                """Apply + forward the merged watermark if it moved."""
+                nonlocal last_wm
+                merged = tracker.merged()
+                if merged is None or (
+                        last_wm is not None and merged <= last_wm):
+                    return
+                last_wm = merged
+                if hook is not None and merged != math.inf:
+                    emissions = hook(merged)
+                    if emissions:
+                        with self._lock:
+                            self.metrics.record_emit(
+                                name, task_index, len(emissions))
+                        self._dispatch(router, name, emissions)
+                self._broadcast(name, (_WM, (name, task_index), merged))
+
+            while True:
+                message = inbox.get()
+                kind = message[0]
+                if kind == _DATA:
+                    _kind, source, stream, rows = message
+                    with self._lock:
+                        self.metrics.record_receive(
+                            source, name, task_index, len(rows))
+                        self.metrics.record_batch(name, task_index)
+                    emissions = bolt.execute_batch(source, stream, rows)
+                    if emissions:
+                        with self._lock:
+                            self.metrics.record_emit(
+                                name, task_index, len(emissions))
+                        self._dispatch(router, name, emissions)
+                elif kind == _WM:
+                    _kind, key, watermark = message
+                    tracker.update(key, watermark)
+                    advance_merged()
+                elif kind == _EOS:
+                    _kind, key = message
+                    tracker.mark_done(key)
+                    if not tracker.all_done():
+                        # the finished input stops constraining the merge,
+                        # which may itself advance the watermark -- act on
+                        # it now, not at the next unrelated punctuation
+                        advance_merged()
+                        continue
+                    emissions = bolt.finish()
+                    if emissions:
+                        with self._lock:
+                            self.metrics.record_emit(
+                                name, task_index, len(emissions))
+                        self._dispatch(router, name, emissions)
+                    self._broadcast(name, (_EOS, (name, task_index)))
+                    return
+        except Exception:
+            import traceback
+            self._worker_error.append(
+                f"worker {name}[{task_index}] failed:\n"
+                + traceback.format_exc())
+            self._done.set()
+
+    def _raise_worker_error(self):
+        if self._worker_error:
+            raise ExecutorError(
+                "streaming worker failed:\n" + "\n".join(self._worker_error))

@@ -1,0 +1,171 @@
+"""Incremental result deltas: the subscriber-facing end of a live query.
+
+A continuous query has no final result list; instead its sink maintains
+the *current* result multiset and publishes every change as a
+``(+row / -row)`` delta.  Consumers :meth:`~DeltaSink.subscribe` and
+receive the deltas in order; :meth:`~DeltaSink.snapshot` is the current
+multiset and -- once the sources are exhausted -- equals the batch
+engine's answer for the same data (pinned by
+``tests/test_streaming_equivalence.py``).
+
+``DeltaSink`` consumes exactly the streams the batch
+:class:`~repro.engine.runner.SinkBolt` does: rows on the data stream are
+insertions, rows on the ``:retract`` stream remove one stored instance
+(a retraction of a row that is not present is ignored, matching the
+batch sink's compensation semantics).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Optional
+
+from repro.engine.runner import RETRACT_SUFFIX
+from repro.storm.topology import Bolt
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One change to the live result multiset."""
+
+    sign: int  # +1 insertion, -1 retraction
+    row: tuple
+
+    def __str__(self):
+        return f"{'+' if self.sign > 0 else '-'}{self.row}"
+
+
+class Subscription:
+    """An ordered, unbounded feed of one sink's deltas.
+
+    Iterating blocks until the next delta (or end of query); ``pop`` is
+    the non-blocking form the inline driver uses between pump rounds.
+    """
+
+    def __init__(self):
+        self._deltas: Deque[Delta] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # -- sink side ---------------------------------------------------------
+
+    def _publish(self, deltas: List[Delta]):
+        with self._cond:
+            self._deltas.extend(deltas)
+            self._cond.notify_all()
+
+    def _close(self):
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # -- consumer side -----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed and not self._deltas
+
+    def pop(self, block: bool = False,
+            timeout: Optional[float] = None) -> Optional[Delta]:
+        """Next delta, or None (buffer empty / query over / timed out)."""
+        with self._cond:
+            if block:
+                self._cond.wait_for(
+                    lambda: self._deltas or self._closed, timeout=timeout)
+            if self._deltas:
+                return self._deltas.popleft()
+            return None
+
+    def __iter__(self) -> Iterator[Delta]:
+        while True:
+            delta = self.pop(block=True)
+            if delta is not None:
+                yield delta
+            elif self.closed:
+                return
+
+
+class DeltaSink(Bolt):
+    """Terminal bolt of a continuous topology: state + subscriptions.
+
+    Thread-safe (the threads executor runs it inside a worker while
+    consumers read snapshots); drop-in replacement for the batch
+    :class:`~repro.engine.runner.SinkBolt` in a streaming topology.
+    """
+
+    def __init__(self):
+        self._counts: Counter = Counter()
+        self._lock = threading.Lock()
+        self._subscriptions: List[Subscription] = []
+        self.delta_count = 0
+        self.completed = False
+
+    # -- dataplane side ----------------------------------------------------
+
+    def execute(self, source: str, stream: str, values: tuple):
+        return self.execute_batch(source, stream, [values])
+
+    def execute_batch(self, source: str, stream: str, rows):
+        retract = stream.endswith(RETRACT_SUFFIX)
+        deltas: List[Delta] = []
+        with self._lock:
+            counts = self._counts
+            if retract:
+                for row in rows:
+                    if counts[row] > 0:
+                        counts[row] -= 1
+                        if not counts[row]:
+                            del counts[row]
+                        deltas.append(Delta(-1, row))
+                    # absent row: ignore, as the batch SinkBolt does
+            else:
+                for row in rows:
+                    counts[row] += 1
+                    deltas.append(Delta(1, row))
+            self.delta_count += len(deltas)
+            subscriptions = list(self._subscriptions)
+        for subscription in subscriptions:
+            subscription._publish(deltas)
+        return []
+
+    def finish(self):
+        """End of query: close every subscription."""
+        with self._lock:
+            self.completed = True
+            subscriptions = list(self._subscriptions)
+        for subscription in subscriptions:
+            subscription._close()
+        return []
+
+    # -- consumer side -----------------------------------------------------
+
+    def subscribe(self) -> Subscription:
+        """New subscription; starts with the current state as +deltas, so
+        a late subscriber's replayed view converges to the same snapshot."""
+        subscription = Subscription()
+        with self._lock:
+            catch_up = [
+                Delta(1, row)
+                for row, count in sorted(self._counts.items(), key=repr)
+                for _ in range(count)
+            ]
+            self._subscriptions.append(subscription)
+            completed = self.completed
+        if catch_up:
+            subscription._publish(catch_up)
+        if completed:
+            subscription._close()
+        return subscription
+
+    def snapshot(self) -> List[tuple]:
+        """The current result multiset, sorted (comparable across
+        engines: equals ``sorted(RunResult.results)`` of the batch run
+        once the sources are exhausted)."""
+        with self._lock:
+            rows: List[tuple] = []
+            for row, count in self._counts.items():
+                rows.extend([row] * count)
+        return sorted(rows)

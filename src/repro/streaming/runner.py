@@ -1,0 +1,299 @@
+"""Compile physical plans for continuous execution.
+
+Reuses the batch engine's Squall-to-Storm translation
+(:func:`repro.engine.runner.build_topology`) with three streaming
+substitutions:
+
+- every source component becomes a :class:`~repro.streaming.sources.\
+ReplaySource` pump over the stored relation (event-time timestamps from
+  the plan's window specs, optional rate limit) -- or any
+  :class:`PushSource` the caller supplies;
+- the aggregation bolt becomes :class:`DeltaAggBolt`, which emits a
+  live ``(+row / -row)`` delta for every group-state change instead of
+  waiting for end of stream;
+- the sink becomes a :class:`~repro.streaming.deltas.DeltaSink` that
+  consumers subscribe to.
+
+The invariant pinned by ``tests/test_streaming_equivalence.py``: once
+the sources are exhausted, :meth:`StreamingQuery.snapshot` equals
+``sorted(run_plan(plan).results)`` -- the continuous engine is the batch
+engine plus incrementality, never a different answer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.component import PhysicalPlan, SourceComponent
+from repro.engine.operators import Projection, Selection
+from repro.engine.runner import RETRACT_SUFFIX, AggBolt, build_topology
+from repro.storm.topology import Spout
+from repro.streaming.cluster import StreamingCluster
+from repro.streaming.deltas import Delta, DeltaSink, Subscription
+from repro.streaming.sources import PushSource, ReplaySource
+
+
+class _IdleSpout(Spout):
+    """Placeholder spout: the pump feeds this component's rows."""
+
+    def next_tuple(self):
+        return None
+
+
+class DeltaAggBolt(AggBolt):
+    """Aggregation task that publishes state changes as live deltas.
+
+    The batch :class:`AggBolt` holds snapshot-mode results until
+    ``finish()``; a long-lived query never finishes, so this variant
+    turns every group-state change into an immediate retraction of the
+    group's previous output row plus an insertion of the new one.  The
+    delta stream therefore maintains exactly the current groups at the
+    sink -- the final snapshot is byte-for-byte the batch engine's
+    answer, it just exists *at every moment along the way*.
+
+    Modes: unwindowed and sliding-window snapshot aggregations get the
+    upsert treatment (sliding expirations -- arrival- or
+    watermark-driven -- also emit deltas); tumbling windows and online
+    aggregations already emit incrementally in batch mode and keep their
+    semantics unchanged.
+    """
+
+    def __init__(self, component):
+        super().__init__(component)
+        self._upsert = not component.online and (
+            component.window is None or component.window.kind == "sliding"
+        )
+
+    def _changes_to_emissions(self, changes) -> List[Tuple[str, tuple]]:
+        name = self.component.name
+        retract = name + RETRACT_SUFFIX
+        out: List[Tuple[str, tuple]] = []
+        for old, new in changes:
+            if old is not None:
+                out.append((retract, old))
+            if new is not None:
+                out.append((name, new))
+        return out
+
+    def execute(self, source: str, stream: str, values: tuple):
+        if not self._upsert:
+            return super().execute(source, stream, values)
+        return self.execute_batch(source, stream, [values])
+
+    def execute_batch(self, source: str, stream: str, rows):
+        if not self._upsert:
+            return super().execute_batch(source, stream, rows)
+        sign = -1 if stream.endswith(RETRACT_SUFFIX) else 1
+        changes: List[Tuple[Optional[tuple], Optional[tuple]]] = []
+        if self.sliding_state is not None:
+            for row in rows:
+                changes.extend(self.sliding_state.consume(row, sign))
+        else:
+            aggregation = self.aggregation
+            for row in rows:
+                key = aggregation.key_of(row)
+                old = aggregation.current(key)
+                aggregation.consume(row, sign)
+                new = aggregation.current(key)
+                if old != new:
+                    changes.append((old, new))
+        return self._changes_to_emissions(changes)
+
+    def advance_watermark(self, watermark):
+        if self._upsert and self.sliding_state is not None:
+            window = self.component.window
+            if window.ts_positions is None:
+                return []
+            return self._changes_to_emissions(
+                self.sliding_state.advance_time(watermark))
+        return super().advance_watermark(watermark)
+
+    def finish(self):
+        if self._upsert:
+            return []  # the delta stream already carries the current groups
+        return super().finish()
+
+
+def _source_operators(
+    source: SourceComponent,
+) -> Tuple[Optional[Selection], Optional[Projection]]:
+    selection = projection = None
+    if source.predicate is not None:
+        selection = Selection(source.predicate, source.relation.schema,
+                              cost_class=source.selection_cost_class)
+    if source.projection is not None:
+        projection = Projection(source.projection, source.relation.schema,
+                                names=source.projection_names)
+    return selection, projection
+
+
+def _plan_ts_positions(plan: PhysicalPlan) -> Dict[str, int]:
+    """Event-time columns per source, read off the plan's window specs.
+
+    Join windows name their input relations directly.  An aggregation
+    window's position refers to the *aggregation input* row; it maps back
+    to a source column only in single-relation plans (source rows feed
+    the aggregation unchanged) -- join plans must pass ``ts_positions``
+    explicitly (the SQL/functional front-ends resolve the event-time
+    column and do)."""
+    # window positions index the rows the *operator* sees; they map back
+    # to the replayed raw rows only for sources without a co-located
+    # projection (the pump applies the projection after polling)
+    unprojected = {
+        source.name for source in plan.sources if source.projection is None
+    }
+    positions: Dict[str, int] = {}
+    for join in plan.joins:
+        window = join.window
+        if window is not None and window.ts_positions is not None:
+            for rel_name, position in window.ts_positions.items():
+                if rel_name in unprojected:
+                    positions[rel_name] = position
+    aggregation = plan.aggregation
+    if (aggregation is not None and not plan.joins
+            and aggregation.window is not None
+            and aggregation.window.ts_positions is not None):
+        position = next(iter(aggregation.window.ts_positions.values()))
+        for source in plan.sources:
+            if source.projection is None:
+                positions.setdefault(source.name, position)
+    return positions
+
+
+def agg_window_ts_positions(catalog, scans, clause) -> Dict[str, int]:
+    """Resolve a front-end :class:`WindowClause`'s event-time column to
+    ``{source component name: raw column position}`` for the replay
+    sources' watermarks.  Shared by the SQL and functional front-ends."""
+    if clause is None or clause.ts_column is None:
+        return {}
+    from repro.core.logical import resolve_column
+
+    schemas = {scan.alias: catalog.get(scan.table).schema for scan in scans}
+    alias, attr = resolve_column(clause.ts_column, schemas)
+    return {alias: schemas[alias].index_of(attr)}
+
+
+def stream_plan(plan: PhysicalPlan, batch_size: int = 64,
+                executor: str = "inline", rate: Optional[float] = None,
+                queue_capacity: int = 128,
+                sources: Optional[Dict[str, PushSource]] = None,
+                ts_positions: Optional[Dict[str, int]] = None,
+                clock: Callable[[], float] = time.monotonic) -> "StreamingQuery":
+    """Compile a physical plan into a continuously running query.
+
+    By default every source relation is replayed through a
+    :class:`ReplaySource` at ``rate`` rows per second (None = as fast as
+    the pipeline drains), with event-time watermarks on the columns named
+    by the plan's window specs (override or extend via ``ts_positions``:
+    source name -> raw column position).  Pass ``sources`` to substitute
+    real push sources for some or all relations.
+
+    Returns a :class:`StreamingQuery`; iterate it for live deltas, call
+    :meth:`~StreamingQuery.run` to drive it to exhaustion, and
+    :meth:`~StreamingQuery.snapshot` for the current result multiset.
+    """
+    topology, partitioners = build_topology(
+        plan,
+        spout_factory=lambda source: (lambda i, p: _IdleSpout()),
+        agg_bolt_factory=DeltaAggBolt,
+        sink_factory=lambda i, p: DeltaSink(),
+        source_parallelism=1,
+    )
+    positions = _plan_ts_positions(plan)
+    if ts_positions:
+        positions.update(ts_positions)
+    pumps: Dict[str, PushSource] = dict(sources or {})
+    operators = {}
+    for source in plan.sources:
+        operators[source.name] = _source_operators(source)
+        if source.name not in pumps:
+            pumps[source.name] = ReplaySource(
+                source.relation.rows, stream=source.name,
+                ts_position=positions.get(source.name), rate=rate,
+                clock=clock,
+            )
+    cluster = StreamingCluster(
+        topology, pumps, batch_size=batch_size, executor=executor,
+        queue_capacity=queue_capacity, source_operators=operators,
+        clock=clock,
+    )
+    return StreamingQuery(cluster, partitioner_info={
+        name: partitioner.describe()
+        for name, partitioner in partitioners.items()
+    })
+
+
+class StreamingQuery:
+    """A live, long-running query: delta feed + snapshot + monitors.
+
+    Iterating yields :class:`Delta` objects *while the query runs* --
+    the inline executor is driven by the iteration itself (one pump round
+    per empty poll), the threads executor runs in the background.  The
+    iterator ends when every source is exhausted and the final deltas
+    are drained; for genuinely unbounded sources, consume it as an
+    infinite stream or stop by abandoning it.
+    """
+
+    def __init__(self, cluster: StreamingCluster,
+                 partitioner_info: Optional[Dict[str, str]] = None):
+        self.cluster = cluster
+        self.partitioner_info = partitioner_info or {}
+        self._subscription: Optional[Subscription] = None
+
+    @property
+    def subscription(self) -> Subscription:
+        """The delta feed, created on first use: a run()-and-snapshot()
+        consumer never buffers the changelog.  Subscribe (or start
+        iterating) before driving the query to observe it from the
+        beginning; a later subscriber starts from the current state."""
+        if self._subscription is None:
+            self._subscription = self.cluster.subscribe()
+        return self._subscription
+
+    def deltas(self) -> Iterator[Delta]:
+        """Live delta iterator.
+
+        Inline: each empty poll drives one pump round.  Threads: blocks
+        on the subscription's condition variable, so a delta published by
+        a background worker wakes the consumer immediately."""
+        cluster = self.cluster
+        threaded = cluster.executor == "threads"
+        if threaded:
+            cluster.start()
+        while True:
+            delta = self.subscription.pop(
+                block=threaded, timeout=0.1 if threaded else None)
+            if delta is not None:
+                yield delta
+                continue
+            if self.subscription.closed:
+                return
+            if cluster.done:
+                # surfacing a worker failure beats waiting on a feed
+                # that will never close; otherwise the run is over and
+                # the buffer was just seen empty
+                cluster._raise_worker_error()
+                return
+            if not threaded:
+                cluster.advance()
+
+    __iter__ = deltas
+
+    def run(self) -> "StreamingQuery":
+        """Drive the query until the sources are exhausted."""
+        self.cluster.run()
+        return self
+
+    def snapshot(self) -> List[tuple]:
+        """Current result multiset (sorted); after :meth:`run`, equals
+        the batch engine's ``sorted(results)`` on the same data."""
+        return self.cluster.snapshot()
+
+    @property
+    def done(self) -> bool:
+        return self.cluster.done
+
+    def stats(self) -> Dict[str, object]:
+        """Live throughput / watermark / lag snapshot."""
+        return self.cluster.stats_snapshot()

@@ -276,6 +276,19 @@ class TestAdaptiveSchemeRefusal:
         with pytest.raises(ExecutorError, match="adapt"):
             run_plan(plan, batch_size=8, executor=executor, parallelism=2)
 
+    @pytest.mark.parametrize("executor", PARALLEL)
+    def test_refusal_names_partitioner_and_inline_escape_hatch(self, executor):
+        """The dedicated error must name the offending partitioner (not the
+        grouping wrapper) and point the user at executor='inline'."""
+        plan, run_plan = self.build_adaptive_cluster()
+        with pytest.raises(ExecutorError) as excinfo:
+            run_plan(plan, batch_size=8, executor=executor, parallelism=2)
+        message = str(excinfo.value)
+        assert "AdaptiveOneBucket" in message
+        assert "executor='inline'" in message
+        assert executor in message  # names the backend that refused
+        assert "HypercubeGrouping" not in message  # culprit, not the wrapper
+
     def test_inline_still_runs_adaptive_partitioners(self):
         plan, run_plan = self.build_adaptive_cluster()
         result = run_plan(plan, batch_size=8)

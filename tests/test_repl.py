@@ -93,6 +93,76 @@ class TestSetOption:
     def test_set_unknown_option(self, shell):
         assert "unknown option" in shell.handle_line("\\set color blue")
 
+    def test_set_batch_size(self, shell):
+        assert shell.handle_line("\\set batch_size 256") == "batch_size = 256"
+        assert shell.batch_size == 256
+
+    def test_set_batch_size_rejects_non_integer(self, shell):
+        assert "integer" in shell.handle_line("\\set batch_size huge")
+        assert shell.batch_size == 1
+
+    def test_set_batch_size_rejects_non_positive(self, shell):
+        assert ">= 1" in shell.handle_line("\\set batch_size 0")
+
+    def test_set_executor(self, shell):
+        assert shell.handle_line("\\set executor threads") == "executor = threads"
+        assert shell.executor == "threads"
+
+    def test_set_executor_invalid(self, shell):
+        assert "must be" in shell.handle_line("\\set executor goroutines")
+        assert shell.executor == "inline"
+
+    def test_set_parallelism(self, shell):
+        assert shell.handle_line("\\set parallelism 2") == "parallelism = 2"
+        assert shell.parallelism == 2
+
+    def test_set_parallelism_auto(self, shell):
+        shell.handle_line("\\set parallelism 2")
+        assert shell.handle_line("\\set parallelism auto") == "parallelism = auto"
+        assert shell.parallelism is None
+
+    def test_set_parallelism_invalid(self, shell):
+        assert "integer" in shell.handle_line("\\set parallelism some")
+        assert ">= 1" in shell.handle_line("\\set parallelism 0")
+
+    def test_set_without_args_lists_all_options(self, shell):
+        shell.handle_line("\\set batch_size 64")
+        output = shell.handle_line("\\set")
+        for line in ("machines = 2", "scheme = auto", "mode = multiway",
+                     "local = dbtoaster", "batch_size = 64",
+                     "executor = inline", "parallelism = auto",
+                     "watch_rate = none"):
+            assert line in output
+
+    def test_set_watch_rate(self, shell):
+        assert shell.handle_line("\\set watch_rate 500") == "watch_rate = 500"
+        assert shell.watch_rate == 500.0
+        assert shell.handle_line("\\set watch_rate none") == "watch_rate = none"
+        assert shell.watch_rate is None
+        assert "positive" in shell.handle_line("\\set watch_rate -3")
+        assert "number" in shell.handle_line("\\set watch_rate fast")
+
+    def test_execution_knobs_reach_the_engine(self, shell, monkeypatch):
+        """The \\set knobs must actually be passed to session.execute."""
+        captured = {}
+        real_execute = shell.session.execute
+
+        def spy(sql, **kwargs):
+            captured.update(kwargs)
+            return real_execute(sql, **kwargs)
+
+        monkeypatch.setattr(shell.session, "execute", spy)
+        shell.handle_line("\\set batch_size 128")
+        shell.handle_line("\\set executor threads")
+        shell.handle_line("\\set parallelism 2")
+        output = shell.handle_line(
+            "SELECT COUNT(*) FROM customer, orders "
+            "WHERE customer.custkey = orders.custkey")
+        assert "rows" in output
+        assert captured == {
+            "batch_size": 128, "executor": "threads", "parallelism": 2,
+        }
+
 
 class TestSqlExecution:
     def test_query_renders_rows_and_monitors(self, shell):
@@ -123,3 +193,39 @@ class TestSqlExecution:
             "WHERE customer.custkey = orders.custkey"
         )
         assert "~customer" in output  # random-hypercube quasi dimensions
+
+
+class TestWatch:
+    def test_watch_usage(self, shell):
+        assert "usage" in shell.handle_line("\\watch")
+
+    def test_watch_streams_deltas_and_reports_snapshot(self, shell):
+        shell.handle_line("\\set batch_size 32")
+        output = shell.handle_line(
+            "\\watch SELECT customer.mktsegment, COUNT(*) "
+            "FROM customer, orders "
+            "WHERE customer.custkey = orders.custkey "
+            "GROUP BY customer.mktsegment"
+        )
+        assert output.splitlines()[0].startswith(("+ ", "- "))
+        assert "watch complete" in output
+        assert "final snapshot" in output
+
+    def test_watch_snapshot_matches_execute(self, shell):
+        sql = ("SELECT customer.mktsegment, COUNT(*) FROM customer, orders "
+               "WHERE customer.custkey = orders.custkey "
+               "GROUP BY customer.mktsegment")
+        batch = shell.session.execute(sql)
+        query = shell.session.stream(sql, batch_size=32).run()
+        assert query.snapshot() == sorted(batch.results)
+
+    def test_watch_reports_errors(self, shell):
+        assert shell.handle_line("\\watch SELECT FROM").startswith("error:")
+
+    def test_watch_announces_processes_downgrade(self, shell):
+        shell.handle_line("\\set executor processes")
+        output = shell.handle_line(
+            "\\watch SELECT orders.orderpriority, COUNT(*) FROM orders "
+            "GROUP BY orders.orderpriority")
+        assert "cannot keep a topology resident" in output.splitlines()[0]
+        assert "watch complete" in output

@@ -8,6 +8,7 @@ from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo
 from repro.core.schema import Schema
 from repro.engine.operators import Aggregation, count, total
 from repro.engine.windows import (
+    SlidingWindowedAggregation,
     WindowedAggregation,
     WindowedJoinState,
     WindowSpec,
@@ -165,3 +166,146 @@ class TestWindowedAggregation:
             wagg.consume((ts, "k", 1))
         wagg.flush()
         assert len(wagg.closed_windows) == 4
+
+    def test_watermark_closes_window_early(self):
+        wagg = self.make(size=10)
+        wagg.consume((3, "a", 5))
+        assert wagg.advance_watermark(8) is None  # window [0, 10) still live
+        window_id, rows = wagg.advance_watermark(10)
+        assert window_id == 0
+        assert rows == [("a", 1, 5)]
+        # idempotent: nothing left to close until new rows arrive
+        assert wagg.advance_watermark(25) is None
+        assert wagg.flush() is None
+
+    def test_watermark_close_matches_arrival_close(self):
+        """A watermark-closed window has exactly the rows an arrival-driven
+        close would have emitted."""
+        by_arrival, by_watermark = self.make(size=10), self.make(size=10)
+        rows = [(1, "a", 5), (4, "b", 2), (9, "a", 1)]
+        for row in rows:
+            by_arrival.consume(row)
+            by_watermark.consume(row)
+        closed_arrival = by_arrival.consume((12, "c", 7))
+        closed_watermark = by_watermark.advance_watermark(10)
+        assert closed_arrival == closed_watermark
+
+
+class TestWindowedJoinAdvanceTime:
+    def test_sliding_watermark_expires_like_next_arrival(self):
+        spec = two_way_spec()
+        window = WindowSpec.sliding(8, ts_positions={"A": 0, "B": 0})
+        by_arrival = WindowedJoinState(DBToasterJoin(spec), window)
+        by_watermark = WindowedJoinState(DBToasterJoin(spec), window)
+        stream = make_stream(seed=7, n=30)
+        for rel, row in stream[:20]:
+            by_arrival.insert(rel, row)
+            by_watermark.insert(rel, row)
+        # the watermark advance does the expiration work up front ...
+        by_watermark.advance_time(stream[20][1][0])
+        assert by_watermark.expired_tuples >= by_arrival.expired_tuples
+        # ... so after the next arrivals both states agree exactly
+        produced_arrival, produced_watermark = Counter(), Counter()
+        for rel, row in stream[20:]:
+            produced_arrival.update(by_arrival.insert(rel, row))
+            produced_watermark.update(by_watermark.insert(rel, row))
+        assert produced_arrival == produced_watermark
+        assert by_arrival.state_size() == by_watermark.state_size()
+
+    def test_tumbling_watermark_resets_state(self):
+        spec = two_way_spec()
+        window = WindowSpec.tumbling(10, ts_positions={"A": 0, "B": 0})
+        state = WindowedJoinState(DBToasterJoin(spec), window)
+        state.insert("A", (1, 0))
+        state.insert("B", (2, 0))
+        state.advance_time(15)  # crosses the window boundary
+        assert state.state_size() == 0
+        assert state.expired_tuples == 2
+
+
+class TestSlidingWindowedAggregation:
+    def make(self, size=10):
+        window = WindowSpec.sliding(size, ts_positions={"": 0})
+        return SlidingWindowedAggregation(
+            lambda: Aggregation([1], [count(), total(2)]), window)
+
+    def test_rejects_tumbling(self):
+        with pytest.raises(ValueError):
+            SlidingWindowedAggregation(
+                lambda: Aggregation([0], [count()]), WindowSpec.tumbling(5))
+
+    def test_changes_report_old_and_new_rows(self):
+        sagg = self.make()
+        assert sagg.consume((1, "a", 5)) == [(None, ("a", 1, 5))]
+        assert sagg.consume((2, "a", 3)) == [(("a", 1, 5), ("a", 2, 8))]
+
+    def test_expiry_retracts_old_rows(self):
+        sagg = self.make(size=10)
+        sagg.consume((1, "a", 5))
+        changes = sagg.consume((12, "b", 2))
+        # row at ts=1 slid out (1 <= 12 - 10): group 'a' dies, 'b' is born
+        assert (("a", 1, 5), None) in changes
+        assert (None, ("b", 1, 2)) in changes
+        assert sagg.snapshot() == [("b", 1, 2)]
+        assert sagg.expired_rows == 1
+
+    def test_snapshot_matches_naive_window(self):
+        import random
+        rng = random.Random(5)
+        rows = [(ts, rng.randrange(3), rng.randrange(10)) for ts in range(50)]
+        sagg = self.make(size=7)
+        for row in rows:
+            sagg.consume(row)
+        horizon = rows[-1][0] - 7
+        live = [row for row in rows if row[0] > horizon]
+        expected = Aggregation([1], [count(), total(2)])
+        for row in live:
+            expected.consume(row)
+        assert sagg.snapshot() == expected.snapshot()
+
+    def test_advance_time_equals_arrival_expiry(self):
+        a, b = self.make(size=5), self.make(size=5)
+        for ts in range(8):
+            a.consume((ts, ts % 2, 1))
+            b.consume((ts, ts % 2, 1))
+        b.advance_time(12 - 0)  # watermark does the expiration early
+        a_changes = a.consume((12, 0, 1))
+        b_changes = b.consume((12, 0, 1))
+        assert a.snapshot() == b.snapshot()
+        # a's arrival change-list includes the expirations b already did
+        assert a_changes[-1] == b_changes[-1]
+
+    def test_retraction_removes_stored_instance(self):
+        sagg = self.make(size=100)
+        sagg.consume((1, "a", 5))
+        sagg.consume((2, "a", 3))
+        changes = sagg.consume((2, "a", 3), sign=-1)
+        assert changes == [(("a", 2, 8), ("a", 1, 5))]
+        assert sagg.state_size() == 1
+        # a later arrival expires the surviving row exactly once
+        final = sagg.consume((300, "b", 1))
+        assert (("a", 1, 5), None) in final
+        assert sagg.snapshot() == [("b", 1, 1)]
+
+    def test_late_retraction_after_expiry_is_ignored(self):
+        """Regression: a compensating retraction for a row that already
+        slid out of the window must be a no-op -- applying it anyway
+        double-subtracts and leaves phantom negative groups."""
+        sagg = self.make(size=5)
+        sagg.consume((1, "a", 5))
+        sagg.consume((10, "b", 1))  # expires the ts=1 row
+        changes = sagg.consume((1, "a", 5), sign=-1)
+        assert changes == []
+        assert sagg.snapshot() == [("b", 1, 1)]
+
+    def test_watermark_expiry_capped_at_own_arrivals(self):
+        """A watermark past this partition's newest arrival must not
+        expire beyond what the next arrival would (batch parity for the
+        trailing window)."""
+        sagg = self.make(size=5)
+        sagg.consume((1, "a", 5))
+        assert sagg.advance_time(1000) == []  # capped at max_ts=1
+        assert sagg.snapshot() == [("a", 1, 5)]
+        # once an arrival moves event time forward, expiry follows
+        changes = sagg.consume((10, "b", 1))
+        assert (("a", 1, 5), None) in changes
