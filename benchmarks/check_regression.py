@@ -36,6 +36,23 @@ def load_stats(path: str) -> dict:
     return stats
 
 
+def columnar_speedups(stats: dict) -> list:
+    """(base name, row min, columnar min, speedup) for every benchmark
+    measured as a ``[row]`` / ``[columnar]`` parameter pair."""
+    pairs = []
+    for name, bench in stats.items():
+        if not name.endswith("[columnar]"):
+            continue
+        row_name = name[: -len("[columnar]")] + "[row]"
+        if row_name not in stats:
+            continue
+        row_min = stats[row_name]["min"]
+        col_min = bench["min"]
+        speedup = row_min / col_min if col_min else float("inf")
+        pairs.append((name[: -len("[columnar]")], row_min, col_min, speedup))
+    return sorted(pairs)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed baseline JSON")
@@ -65,6 +82,14 @@ def main(argv=None) -> int:
             regressions.append((name, ratio))
             flag = "  REGRESSION"
         print(f"{name:<60}{base_min:>12.4f}{cur_min:>12.4f}{ratio:>7.2f}x{flag}")
+
+    speedups = columnar_speedups(current)
+    if speedups:
+        print(f"\n{'columnar vs row':<60}{'row':>12}{'columnar':>12}"
+              f"{'speedup':>8}")
+        for name, row_min, col_min, speedup in speedups:
+            print(f"{name:<60}{row_min:>12.4f}{col_min:>12.4f}"
+                  f"{speedup:>7.2f}x")
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) slower than the "

@@ -83,18 +83,23 @@ def measure_backend(executor: str, parallelism: Optional[int] = None,
                     batch_size: int = DEFAULT_BATCH_SIZE,
                     n_rows: int = DEFAULT_ROWS,
                     machines: int = DEFAULT_MACHINES,
-                    repeats: int = DEFAULT_REPEATS) -> Tuple[float, list]:
-    """Best-of-``repeats`` runtime (seconds) and the sorted result rows."""
+                    repeats: int = DEFAULT_REPEATS,
+                    columnar: Optional[bool] = None):
+    """Best-of-``repeats`` runtime (seconds), the sorted result rows, and
+    the last run's :class:`~repro.storm.metrics.TopologyMetrics` (path
+    counters + per-component throughput)."""
     best = float("inf")
     results: list = []
+    metrics = None
     for _ in range(repeats):
         plan = multiway_join_plan(n_rows=n_rows, machines=machines)
         start = time.perf_counter()
         result = run_plan(plan, batch_size=batch_size, executor=executor,
-                          parallelism=parallelism)
+                          parallelism=parallelism, columnar=columnar)
         best = min(best, time.perf_counter() - start)
         results = sorted(result.results)
-    return best, results
+        metrics = result.metrics
+    return best, results, metrics
 
 
 def measure_streaming(batch_size: int = DEFAULT_BATCH_SIZE,
@@ -164,25 +169,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "for this pure-Python workload)")
     args = parser.parse_args(argv)
 
-    backends: List[Tuple[str, Optional[int]]] = [("inline", None)]
+    # inline is measured on both paths: row (columnar=False) first as the
+    # speedup baseline, then columnar -- their result multisets must match
+    backends: List[Tuple[str, Optional[int], Optional[bool]]] = [
+        ("inline/row", None, False),
+        ("inline/col", None, True),
+    ]
     if args.threads:
-        backends.append(("threads", args.parallelism))
-    backends.append(("processes", args.parallelism))
+        backends.append(("threads", args.parallelism, None))
+    backends.append(("processes", args.parallelism, None))
 
     timings: List[Tuple[str, float]] = []
+    paths: List[Tuple[str, str]] = []
     reference: Optional[list] = None
-    for executor, parallelism in backends:
-        label = executor if parallelism is None else \
-            f"{executor} x{parallelism}"
-        seconds, results = measure_backend(
+    for label, parallelism, columnar in backends:
+        executor = label.split("/")[0].split(" ")[0]
+        if parallelism is not None:
+            label = f"{label} x{parallelism}"
+        seconds, results, metrics = measure_backend(
             executor, parallelism=parallelism, batch_size=args.batch_size,
-            n_rows=args.rows, machines=args.machines, repeats=args.repeats)
+            n_rows=args.rows, machines=args.machines, repeats=args.repeats,
+            columnar=columnar)
         if reference is None:
             reference = results
         elif results != reference:
             print(f"ERROR: {label} results differ from inline")
             return 1
         timings.append((label, seconds))
+        if metrics is not None:
+            joiner_rate = metrics.rows_per_second("J")
+            paths.append((label, f"{metrics.path_summary()}; "
+                                 f"joiner input {joiner_rate:,.0f} rows/sec"))
 
     seconds, results = measure_streaming(
         batch_size=args.batch_size, n_rows=args.rows,
@@ -193,6 +210,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     timings.append(("streaming", seconds))
 
     print(speedup_table(timings, args.rows, args.machines))
+    print()
+    print("Execution paths (which kernel actually ran):")
+    for label, summary in paths:
+        print(f"  {label:<14}{summary}")
     cores = os.cpu_count() or 1
     if cores < 2:
         print(f"(single-core machine: the process backend cannot beat "

@@ -13,6 +13,8 @@ import operator
 from dataclasses import dataclass
 from typing import Callable, Tuple
 
+import numpy as np
+
 from repro.core.schema import Schema
 
 _COMPARATORS = {
@@ -44,11 +46,30 @@ def parse_date(text: str) -> datetime.date:
     return datetime.date(int(year), int(month), int(day))
 
 
+class ColumnarUnsupported(Exception):
+    """The expression (or its runtime operands) has no vectorized form.
+
+    Raised either at ``compile_columnar`` time (node kind can never
+    vectorize, e.g. :class:`DateValue`) or at evaluation time (neither
+    operand materialized as a NumPy vector); the caller falls back to the
+    compiled row path.
+    """
+
+
 class Expression:
     """Base class for scalar expressions over a row."""
 
     def compile(self, schema: Schema) -> Callable[[tuple], object]:
         raise NotImplementedError
+
+    def compile_columnar(self, schema: Schema) -> Callable[[object], object]:
+        """Compile into a whole-column kernel over a ``ColumnBatch``.
+
+        The returned callable maps a batch to a column (NumPy vector,
+        list, or scalar to broadcast).  Node kinds without a vectorized
+        form raise :class:`ColumnarUnsupported` here.
+        """
+        raise ColumnarUnsupported(type(self).__name__)
 
     def columns(self) -> Tuple[str, ...]:
         """Column names referenced by this expression."""
@@ -105,6 +126,10 @@ class Column(Expression):
         position = schema.index_of(self.name)
         return lambda row: row[position]
 
+    def compile_columnar(self, schema: Schema):
+        position = schema.index_of(self.name)
+        return lambda batch: batch.columns[position]
+
     def columns(self):
         return (self.name,)
 
@@ -121,6 +146,10 @@ class Literal(Expression):
     def compile(self, schema: Schema):
         value = self.value
         return lambda row: value
+
+    def compile_columnar(self, schema: Schema):
+        value = self.value
+        return lambda batch: value
 
     def __repr__(self):
         return f"lit({self.value!r})"
@@ -160,11 +189,36 @@ class Arithmetic(Expression):
         fn = _ARITHMETIC[self.op]
         return lambda row: fn(left(row), right(row))
 
+    def compile_columnar(self, schema: Schema):
+        return _binary_columnar(self.left, self.right, _ARITHMETIC[self.op],
+                                self.op, schema)
+
     def columns(self):
         return self.left.columns() + self.right.columns()
 
     def __repr__(self):
         return f"({self.left!r} {self.op} {self.right!r})"
+
+
+def _binary_columnar(left_expr: Expression, right_expr: Expression,
+                     fn, op: str, schema: Schema):
+    """Vectorized binary node: at least one operand must be a vector.
+
+    Both-scalar (or both plain-list) operand pairs raise at evaluation
+    time so the caller falls back to the row kernel -- list columns carry
+    values NumPy cannot compare uniformly.
+    """
+    left = left_expr.compile_columnar(schema)
+    right = right_expr.compile_columnar(schema)
+
+    def evaluate(batch):
+        lv = left(batch)
+        rv = right(batch)
+        if not (isinstance(lv, np.ndarray) or isinstance(rv, np.ndarray)):
+            raise ColumnarUnsupported(f"non-vector operands for {op!r}")
+        return fn(lv, rv)
+
+    return evaluate
 
 
 class Predicate(Expression):
@@ -196,6 +250,10 @@ class Comparison(Predicate):
         fn = _COMPARATORS[self.op]
         return lambda row: fn(left(row), right(row))
 
+    def compile_columnar(self, schema: Schema):
+        return _binary_columnar(self.left, self.right, _COMPARATORS[self.op],
+                                self.op, schema)
+
     def columns(self):
         return self.left.columns() + self.right.columns()
 
@@ -213,6 +271,11 @@ class And(Predicate):
         right = self.right.compile(schema)
         return lambda row: left(row) and right(row)
 
+    def compile_columnar(self, schema: Schema):
+        left = self.left.compile_columnar(schema)
+        right = self.right.compile_columnar(schema)
+        return lambda batch: np.logical_and(left(batch), right(batch))
+
     def columns(self):
         return self.left.columns() + self.right.columns()
 
@@ -227,6 +290,11 @@ class Or(Predicate):
         right = self.right.compile(schema)
         return lambda row: left(row) or right(row)
 
+    def compile_columnar(self, schema: Schema):
+        left = self.left.compile_columnar(schema)
+        right = self.right.compile_columnar(schema)
+        return lambda batch: np.logical_or(left(batch), right(batch))
+
     def columns(self):
         return self.left.columns() + self.right.columns()
 
@@ -239,6 +307,10 @@ class Not(Predicate):
         inner = self.inner.compile(schema)
         return lambda row: not inner(row)
 
+    def compile_columnar(self, schema: Schema):
+        inner = self.inner.compile_columnar(schema)
+        return lambda batch: np.logical_not(inner(batch))
+
     def columns(self):
         return self.inner.columns()
 
@@ -250,6 +322,9 @@ class TruePredicate(Predicate):
 
     def compile(self, schema: Schema):
         return lambda row: True
+
+    def compile_columnar(self, schema: Schema):
+        return lambda batch: np.ones(len(batch), dtype=bool)
 
 
 def col(name: str) -> Column:

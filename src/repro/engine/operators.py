@@ -11,7 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.expressions import Expression, Predicate
+import numpy as np
+
+from repro.core.columnar import ColumnBatch
+from repro.core.expressions import ColumnarUnsupported, Expression, Predicate
 from repro.core.schema import Schema
 
 
@@ -28,6 +31,8 @@ class Selection:
         self.schema = schema
         self.cost_class = cost_class
         self._fn = predicate.compile(schema)
+        self._cfn = None
+        self._cfn_resolved = False
         self.seen = 0
         self.passed = 0
 
@@ -38,8 +43,36 @@ class Selection:
             return row
         return None
 
-    def apply_batch(self, rows: Sequence[tuple]) -> List[tuple]:
-        """Filter a whole batch in one pass (counters updated in bulk)."""
+    def _columnar_fn(self):
+        """Lazily compile the vectorized predicate; None = no vector form."""
+        if not self._cfn_resolved:
+            self._cfn_resolved = True
+            try:
+                self._cfn = self.predicate.compile_columnar(self.schema)
+            except ColumnarUnsupported:
+                self._cfn = None
+        return self._cfn
+
+    def apply_batch(self, rows: Sequence[tuple]):
+        """Filter a whole batch in one pass (counters updated in bulk).
+
+        A :class:`ColumnBatch` input is filtered as a whole-column mask
+        when the predicate vectorizes and stays columnar on the way out;
+        otherwise it degrades to the row path (returning a row list).
+        """
+        if isinstance(rows, ColumnBatch):
+            fn = self._columnar_fn()
+            if fn is not None:
+                try:
+                    mask = np.asarray(fn(rows), dtype=bool)
+                except ColumnarUnsupported:
+                    self._cfn = None  # runtime operands never vectorize
+                else:
+                    kept = rows.take(np.flatnonzero(mask))
+                    self.seen += len(rows)
+                    self.passed += len(kept)
+                    return kept
+            rows = rows.to_rows()
         fn = self._fn
         kept = [row for row in rows if fn(row)]
         self.seen += len(rows)
@@ -56,6 +89,8 @@ class Selection:
     def __getstate__(self):
         state = dict(self.__dict__)
         del state["_fn"]
+        state["_cfn"] = None
+        state["_cfn_resolved"] = False
         return state
 
     def __setstate__(self, state):
@@ -75,6 +110,8 @@ class Projection:
         self.expressions = list(expressions)
         self.schema = schema
         self._fns = [expr.compile(schema) for expr in self.expressions]
+        self._cfns = None
+        self._cfns_resolved = False
         if names is None:
             names = [f"expr{i}" for i in range(len(self.expressions))]
         if len(names) != len(self.expressions):
@@ -84,8 +121,46 @@ class Projection:
     def apply(self, row: tuple) -> tuple:
         return tuple(fn(row) for fn in self._fns)
 
-    def apply_batch(self, rows: Sequence[tuple]) -> List[tuple]:
-        """Project a whole batch in one pass."""
+    def _columnar_fns(self):
+        """Lazily compile the vectorized projections; None = no vector form."""
+        if not self._cfns_resolved:
+            self._cfns_resolved = True
+            try:
+                self._cfns = [expr.compile_columnar(self.schema)
+                              for expr in self.expressions]
+            except ColumnarUnsupported:
+                self._cfns = None
+        return self._cfns
+
+    @staticmethod
+    def _as_column(value, n: int):
+        """Broadcast a projected result into a column of ``n`` values."""
+        if isinstance(value, (np.ndarray, list)):
+            return value
+        if type(value) is int:
+            return np.full(n, value, dtype=np.int64)
+        if type(value) is float:
+            return np.full(n, value, dtype=np.float64)
+        return [value] * n
+
+    def apply_batch(self, rows: Sequence[tuple]):
+        """Project a whole batch in one pass.
+
+        Pure column references on a :class:`ColumnBatch` reuse the input
+        columns zero-copy; vectorizable expressions evaluate as whole
+        columns.  Anything else degrades to the row path.
+        """
+        if isinstance(rows, ColumnBatch):
+            fns = self._columnar_fns()
+            if fns is not None:
+                n = len(rows)
+                try:
+                    columns = [self._as_column(fn(rows), n) for fn in fns]
+                except ColumnarUnsupported:
+                    self._cfns = None  # runtime operands never vectorize
+                else:
+                    return ColumnBatch(columns, n, rows.sign)
+            rows = rows.to_rows()
         fns = self._fns
         if len(fns) == 1:
             fn = fns[0]
@@ -96,6 +171,8 @@ class Projection:
     def __getstate__(self):
         state = dict(self.__dict__)
         del state["_fns"]
+        state["_cfns"] = None
+        state["_cfns_resolved"] = False
         return state
 
     def __setstate__(self, state):
@@ -184,7 +261,17 @@ class Aggregation:
         each input (what per-row ``consume`` returns -- online semantics);
         with ``collect=False`` state is updated without materialising the
         per-row outputs, which is what snapshot-mode consumers want.
+
+        Snapshot-mode :class:`ColumnBatch` input with a single ndarray
+        group column reduces vectorized (``np.unique`` + ``bincount`` /
+        ``np.add.at``) -- one dict update per distinct key instead of one
+        per row.  Online mode needs per-row outputs and stays row-wise.
         """
+        if isinstance(rows, ColumnBatch):
+            if not collect and self._columnar_reducible(rows):
+                self._consume_columnar(rows, sign)
+                return None
+            rows = rows.to_rows()
         outputs: Optional[List[tuple]] = [] if collect else None
         groups = self._groups
         positions = self.group_positions
@@ -211,6 +298,50 @@ class Aggregation:
                 outputs.append(key + self._values(state))
         self.consumed += len(rows)
         return outputs
+
+    def _columnar_reducible(self, batch: ColumnBatch) -> bool:
+        if len(self.group_positions) != 1:
+            return False
+        if not isinstance(batch.columns[self.group_positions[0]], np.ndarray):
+            return False
+        return all(
+            agg.kind == "count"
+            or isinstance(batch.columns[agg.position], np.ndarray)
+            for agg in self.aggregates
+        )
+
+    def _consume_columnar(self, batch: ColumnBatch, sign: int):
+        keys, inverse = np.unique(batch.columns[self.group_positions[0]],
+                                  return_inverse=True)
+        n_groups = len(keys)
+        counts = np.bincount(inverse, minlength=n_groups)
+        totals = []
+        for agg in self.aggregates:
+            if agg.kind == "count":
+                totals.append(counts.tolist())
+            else:
+                col = batch.columns[agg.position]
+                acc = np.zeros(n_groups, dtype=col.dtype)
+                np.add.at(acc, inverse, col)
+                totals.append(acc.tolist())
+        counts_list = counts.tolist()
+        groups = self._groups
+        n_aggs = len(self.aggregates)
+        # .tolist() above restores plain Python ints/floats, so group keys
+        # and sums stay exactly what the row path would have produced
+        for g, key_value in enumerate(keys.tolist()):
+            key = (key_value,)
+            state = groups.get(key)
+            if state is None:
+                state = _GroupState(n_aggs)
+                groups[key] = state
+            state.counts += sign * counts_list[g]
+            sums = state.sums
+            for i in range(n_aggs):
+                sums[i] += sign * totals[i][g]
+            if state.counts == 0:
+                del groups[key]
+        self.consumed += len(batch)
 
     def _values(self, state: _GroupState) -> tuple:
         values = []

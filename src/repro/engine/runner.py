@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.core.columnar import ColumnBatch, ColumnEmissions
 from repro.engine.component import (
     AggComponent,
     JoinComponent,
@@ -44,6 +45,8 @@ class SourceSpout(Spout):
         self._position = 0
         self._step = 1
         self.read = 0
+        #: columnar-path toggle, set by LocalCluster.run before draining
+        self.columnar = False
         self.selection: Optional[Selection] = None
         self.projection: Optional[Projection] = None
         if component.predicate is not None:
@@ -90,6 +93,11 @@ class SourceSpout(Spout):
         )
         return state
 
+    def has_more(self) -> bool:
+        """Unread stripe rows remain (a columnar batch thinned by the
+        selection can be short without meaning exhaustion)."""
+        return self._position < len(self.rows)
+
     def next_batch(self, max_rows: int):
         """Read a stripe of up to ``max_rows`` *passing* tuples in one pass.
 
@@ -97,6 +105,8 @@ class SourceSpout(Spout):
         the projection applied batch-at-a-time, so per-tuple Python call
         overhead is paid once per batch instead of once per row.
         """
+        if self.columnar:
+            return self._next_batch_columnar(max_rows)
         rows = self.rows
         n = len(rows)
         position = self._position
@@ -121,6 +131,39 @@ class SourceSpout(Spout):
         if self.projection is not None:
             out = self.projection.apply_batch(out)
         return [(stream, row) for row in out]
+
+    def _next_batch_columnar(self, max_rows: int):
+        """Read one stripe chunk as a :class:`ColumnBatch`.
+
+        Selection/projection run as whole-column kernels; a chunk the
+        predicate empties entirely is skipped and the scan continues, so
+        an empty return still means exhaustion (the cluster's spout-drop
+        contract)."""
+        rows = self.rows
+        n = len(rows)
+        selection = self.selection
+        projection = self.projection
+        while self._position < n:
+            position = self._position
+            step = self._step
+            if step == 1:
+                chunk = rows[position:position + max_rows]
+            else:
+                chunk = rows[position:position + step * max_rows:step]
+            self._position = position + step * len(chunk)
+            self.read += len(chunk)
+            batch = ColumnBatch.from_rows(chunk)
+            if selection is not None:
+                batch = selection.apply_batch(batch)
+            if projection is not None:
+                batch = projection.apply_batch(batch)
+            if len(batch):
+                if isinstance(batch, ColumnBatch):
+                    return ColumnEmissions(self.component.name, batch)
+                # an operator fell back to the row path (uncompilable
+                # predicate/expression) -- emit row pairs
+                return [(self.component.name, row) for row in batch]
+        return []
 
 
 class JoinBolt(Bolt):
@@ -169,6 +212,12 @@ class JoinBolt(Bolt):
             rel_name = stream[: -len(RETRACT_SUFFIX)]
             retracted = self._local.delete_batch(rel_name, rows)
             out_stream = self.component.name + RETRACT_SUFFIX
+            if isinstance(retracted, ColumnBatch):
+                if not retracted:
+                    return []
+                if positions is not None:
+                    retracted = retracted.take_columns(positions)
+                return ColumnEmissions(out_stream, retracted)
             if positions is None:
                 return [(out_stream, row) for row in retracted]
             return [(out_stream, tuple(row[p] for p in positions))
@@ -176,6 +225,12 @@ class JoinBolt(Bolt):
         delta = self._local.insert_batch(stream, rows)
         self.emitted_outputs += len(delta)
         out_stream = self.component.name
+        if isinstance(delta, ColumnBatch):
+            if not delta:
+                return []
+            if positions is not None:
+                delta = delta.take_columns(positions)
+            return ColumnEmissions(out_stream, delta)
         if positions is None:
             return [(out_stream, row) for row in delta]
         return [(out_stream, tuple(row[p] for p in positions)) for row in delta]
@@ -477,7 +532,8 @@ def build_topology(
 
 def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
              batch_size: int = 1, executor: str = "inline",
-             parallelism: Optional[int] = None) -> RunResult:
+             parallelism: Optional[int] = None,
+             columnar: Optional[bool] = None) -> RunResult:
     """Compile a physical plan to a topology and execute it locally.
 
     ``batch_size`` is the number of tuples pulled from each spout per
@@ -500,12 +556,18 @@ def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
     additionally requires pickle-safe task state (windowed components
     hold factory closures and are inline/threads-only).
 
+    ``columnar`` selects the columnar execution path (vectorized
+    selections, hashing, join probes); the default (None) turns it on
+    for ``batch_size >= COLUMNAR_MIN_BATCH`` and off below.  Either
+    setting yields the same result multiset.
+
     For *continuous* execution of the same plan over unbounded push
     sources, see :func:`repro.streaming.stream_plan`."""
     topology, partitioners = build_topology(plan)
     cluster = LocalCluster(topology)
     metrics = cluster.run(max_tuples=max_tuples, batch_size=batch_size,
-                          executor=executor, parallelism=parallelism)
+                          executor=executor, parallelism=parallelism,
+                          columnar=columnar)
 
     # all measurement state is read back from the cluster's tasks *after*
     # the run: under the processes backend these are the final instances

@@ -254,9 +254,10 @@ def _execute(context: QueryContext, logical: LogicalPlan,
     batch_size = overrides.pop("batch_size", 1)
     executor = overrides.pop("executor", "inline")
     parallelism = overrides.pop("parallelism", None)
+    columnar = overrides.pop("columnar", None)
     _options, physical = _compile(context, logical, overrides)
     return run_plan(physical, batch_size=batch_size, executor=executor,
-                    parallelism=parallelism)
+                    parallelism=parallelism, columnar=columnar)
 
 
 def _stream(context: QueryContext, logical: LogicalPlan, overrides: dict):
@@ -265,6 +266,7 @@ def _stream(context: QueryContext, logical: LogicalPlan, overrides: dict):
     batch_size = overrides.pop("batch_size", 64)
     executor = overrides.pop("executor", "inline")
     rate = overrides.pop("rate", None)
+    columnar = overrides.pop("columnar", False)
     if "parallelism" in overrides:
         raise ValueError(
             "the streaming runtime has no parallelism knob: "
@@ -275,4 +277,5 @@ def _stream(context: QueryContext, logical: LogicalPlan, overrides: dict):
     ts_positions = agg_window_ts_positions(
         context.catalog, logical.scans, options.agg_window)
     return stream_plan(physical, batch_size=batch_size, executor=executor,
-                       rate=rate, ts_positions=ts_positions)
+                       rate=rate, ts_positions=ts_positions,
+                       columnar=columnar)

@@ -46,6 +46,15 @@ class JoinSchema:
         offset = self.offsets[rel_name]
         return flat_row[offset:offset + self.schemas[rel_name].arity]
 
+    def positions_of(self, rel_name: str) -> range:
+        """Flat positions of one relation's attributes in this layout.
+
+        The columnar join kernel uses this for probe-side key extraction
+        and for gathering a component view's columns into the positions of
+        a wider target layout (relations need not be contiguous there)."""
+        offset = self.offsets[rel_name]
+        return range(offset, offset + self.schemas[rel_name].arity)
+
     def output_schema(self) -> Schema:
         """Schema of flattened rows, with ``relation.attribute`` names."""
         from repro.core.schema import Field
@@ -90,6 +99,11 @@ class LocalJoin:
         against the state including every earlier row of the same batch.
         The default loops ``insert``; subclasses override it to amortize
         per-call setup (probe plans, index key extraction) over the batch.
+
+        ``rows`` may be a :class:`~repro.core.columnar.ColumnBatch` --
+        iteration yields plain row tuples, so the default loop (and any
+        row-oriented subclass) works unchanged; vectorizing subclasses
+        branch on the type to probe whole columns at once.
         """
         output: List[tuple] = []
         insert = self.insert

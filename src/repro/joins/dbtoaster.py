@@ -14,11 +14,14 @@ therefore sliding-window expiration -- a symmetric negative delta.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.columnar import ColumnBatch, make_column
 from repro.core.predicates import JoinCondition, JoinSpec
 from repro.joins.base import JoinSchema, LocalJoin
-from repro.joins.indexes import HashIndex
+from repro.joins.indexes import HashIndex, IdIndex
 
 
 def connected_subsets(names: Sequence[str], adjacency: Dict[str, set]) -> List[FrozenSet[str]]:
@@ -160,6 +163,162 @@ class _ProbePlan:
         return True
 
 
+def _as_array(values) -> np.ndarray:
+    """Any column representation as an ndarray (object dtype for lists)."""
+    if isinstance(values, np.ndarray):
+        return values
+    arr = np.empty(len(values), dtype=object)
+    arr[:] = values
+    return arr
+
+
+class _GrowColumn:
+    """Amortized-doubling append-only NumPy vector.
+
+    Adopts the dtype of the first appended chunk; any later dtype
+    mismatch promotes the whole column to ``object`` (never a numeric
+    coercion -- ``1`` must not silently become ``1.0`` in a view row).
+    """
+
+    __slots__ = ("data", "n")
+
+    def __init__(self):
+        self.data: Optional[np.ndarray] = None
+        self.n = 0
+
+    def view(self) -> np.ndarray:
+        if self.data is None:
+            return np.empty(0, dtype=object)
+        return self.data[:self.n]
+
+    def append(self, values: np.ndarray):
+        k = len(values)
+        if k == 0:
+            return
+        if self.data is None:
+            self.data = np.empty(max(16, k), dtype=values.dtype)
+        elif self.data.dtype != values.dtype:
+            if self.data.dtype != object:
+                promoted = np.empty(len(self.data), dtype=object)
+                promoted[:self.n] = self.data[:self.n]
+                self.data = promoted
+            if values.dtype != object:
+                values = values.astype(object)
+        need = self.n + k
+        if need > len(self.data):
+            capacity = len(self.data)
+            while capacity < need:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=self.data.dtype)
+            grown[:self.n] = self.data[:self.n]
+            self.data = grown
+        self.data[self.n:need] = values
+        self.n = need
+
+
+class _ColumnarView:
+    """Columnar twin of :class:`_View`: id-addressed column vectors.
+
+    Every applied delta row gets a fresh integer id; ``cols[p].view()[id]``
+    is that row's value at flat position ``p`` and ``mults.view()[id]``
+    its (mutable) multiplicity.  Probe indexes map key tuples to id lists
+    (:class:`IdIndex`), so a probe resolves to ids that feed straight
+    into NumPy fancy indexing.  Duplicate view rows may occupy several
+    ids; multiset semantics only depend on the multiplicity sum.
+    """
+
+    __slots__ = ("cols", "mults", "indexes", "total")
+
+    def __init__(self, arity: int):
+        self.cols = [_GrowColumn() for _ in range(arity)]
+        self.mults = _GrowColumn()
+        self.indexes: Dict[Tuple[int, ...], IdIndex] = {}
+        self.total = 0
+
+    @staticmethod
+    def _keys_of(columns, flat_positions: Tuple[int, ...]) -> list:
+        """Index keys for delta columns: scalars for single-column keys
+        (the common case -- skips per-row tuple construction), tuples
+        otherwise.  Probe-side key extraction uses the same convention."""
+        if len(flat_positions) == 1:
+            return _as_array(columns[flat_positions[0]]).tolist()
+        return list(zip(*(_as_array(columns[p]).tolist()
+                          for p in flat_positions)))
+
+    def ensure_index(self, flat_positions: Tuple[int, ...]) -> IdIndex:
+        index = self.indexes.get(flat_positions)
+        if index is None:
+            index = IdIndex()
+            self.indexes[flat_positions] = index
+            mults = self.mults.view().tolist()
+            keys = self._keys_of([c.view() for c in self.cols],
+                                 flat_positions)
+            for row_id, key in enumerate(keys):
+                if mults[row_id] > 0:
+                    index.insert(key, row_id)
+        return index
+
+    def extend(self, columns: Sequence[np.ndarray], mults: np.ndarray):
+        """Append delta rows with positive multiplicities."""
+        n = len(mults)
+        if n == 0:
+            return
+        start = self.mults.n
+        for grow, col in zip(self.cols, columns):
+            grow.append(_as_array(col))
+        self.mults.append(np.asarray(mults, dtype=np.int64))
+        self.total += int(mults.sum())
+        for flat_positions, index in self.indexes.items():
+            buckets = index._buckets
+            bucket_get = buckets.get
+            row_id = start
+            for key in self._keys_of(columns, flat_positions):
+                bucket = bucket_get(key)
+                if bucket is None:
+                    buckets[key] = [row_id]
+                else:
+                    bucket.append(row_id)
+                row_id += 1
+
+    def retract(self, columns: Sequence[np.ndarray], mults: np.ndarray):
+        """Remove delta rows (positive ``mults``, subtracted).
+
+        A logical row's multiplicity may be spread over several ids
+        (inserted by different batches); the decrement walks the id
+        bucket until the full multiplicity is consumed.
+        """
+        arity = len(self.cols)
+        if not self.indexes:
+            # a view that is never probed (the stored full result) gets a
+            # whole-row index lazily, only when deletes actually arrive
+            self.ensure_index(tuple(range(arity)))
+        key_positions, index = next(iter(self.indexes.items()))
+        mult_view = self.mults.view()
+        col_views = [c.view() for c in self.cols]
+        rows = list(zip(*(_as_array(c).tolist() for c in columns)))
+        for row, mult in zip(rows, mults.tolist()):
+            remaining = mult
+            key = (row[key_positions[0]] if len(key_positions) == 1
+                   else tuple(row[p] for p in key_positions))
+            for row_id in list(index.get(key) or ()):
+                if remaining == 0:
+                    break
+                if any(col_views[p][row_id] != row[p] for p in range(arity)):
+                    continue
+                take = min(remaining, int(mult_view[row_id]))
+                mult_view[row_id] -= take
+                remaining -= take
+                if mult_view[row_id] == 0:
+                    for positions, idx in self.indexes.items():
+                        dead_key = (row[positions[0]] if len(positions) == 1
+                                    else tuple(row[p] for p in positions))
+                        idx.remove(dead_key, row_id)
+            if remaining:
+                raise ValueError(
+                    "view multiplicity went negative (inconsistent deletes)")
+        self.total -= int(mults.sum())
+
+
 class DBToasterJoin(LocalJoin):
     """Higher-order IVM n-way join with materialised intermediate views."""
 
@@ -199,6 +358,14 @@ class DBToasterJoin(LocalJoin):
                     # of size <= n-1, so their views are always maintained
                     plans.append(_ProbePlan(spec, name, self.views[component]))
                 self._plans[(subset, name)] = plans
+        # columnar kernel: activated lazily on the first ColumnBatch when
+        # every probe is a pure equi-probe (hash-index lookups vectorize;
+        # theta filters and index-less scans stay on the row path)
+        self._columnar_capable = all(
+            plan.key_flat and not plan.filters
+            for plans in self._plans.values() for plan in plans)
+        self._cviews: Optional[Dict[FrozenSet[str], _ColumnarView]] = None
+        self._cplans = None
 
     # -- delta computation ---------------------------------------------------
 
@@ -247,21 +414,206 @@ class DBToasterJoin(LocalJoin):
             output.extend([flat] * multiplicity)
         return output
 
+    # -- columnar kernel -------------------------------------------------------
+
+    def _activate_columnar(self):
+        """Switch to the columnar kernel: convert existing view state to
+        id-addressed column vectors and precompute per-(target, prober)
+        gather maps.
+
+        Deltas are whole-batch: since none of the probed component views
+        contains the prober relation, every row of an incoming batch sees
+        the same frozen pre-batch state, so per-row sequential semantics
+        and compute-all-then-apply are identical (the same argument that
+        lets ``_process`` defer its applies).
+        """
+        self._cviews = {}
+        for subset, view in self.views.items():
+            cview = _ColumnarView(view.layout.arity)
+            if view.rows:
+                items = list(view.rows.items())
+                mults = np.fromiter((count for _row, count in items),
+                                    dtype=np.int64, count=len(items))
+                columns = [
+                    _as_array(make_column([row[p] for row, _count in items]))
+                    for p in range(view.layout.arity)
+                ]
+                cview.extend(columns, mults)
+            self._cviews[subset] = cview
+        self._cplans = {}
+        for (subset, rel), plans in self._plans.items():
+            target_layout = (self.views[subset].layout if subset in self.views
+                             else self.join_schema)
+            rel_arity = self.spec.by_name[rel].schema.arity
+            prober_map = list(zip(target_layout.positions_of(rel),
+                                  range(rel_arity)))
+            plan_entries = []
+            for plan in plans:
+                cview = self._cviews[plan.view.subset]
+                cview.ensure_index(plan.key_flat)
+                col_map = []
+                for member in plan.view.subset:
+                    col_map.extend(zip(target_layout.positions_of(member),
+                                       plan.view.layout.positions_of(member)))
+                plan_entries.append(
+                    (cview, plan.key_prober, plan.key_flat, col_map))
+            self._cplans[(subset, rel)] = (target_layout.arity, prober_map,
+                                           plan_entries)
+
+    def _delta_batch(self, rel_name: str, batch_cols: List[np.ndarray],
+                     n: int, subset: FrozenSet[str], bucket_cache: dict,
+                     key_cache: dict):
+        """Whole-batch ``_delta``: probe every component view with whole
+        columns, chaining candidate expansion via ``np.repeat``.
+
+        Returns ``(columns, mult)``: the delta rows of the target layout
+        as full-arity gathered columns plus their multiplicities.  Probe
+        keys and id buckets are cached per (index, key positions), so a
+        component view probed by several targets is resolved once.
+        """
+        arity, prober_map, plan_entries = self._cplans[(subset, rel_name)]
+        idx = np.arange(n)                 # prober row per partial (sorted)
+        mult = np.ones(n, dtype=np.int64)
+        gathers = []                       # (cview, ids, col_map) per plan
+        identity = True                    # idx is still arange(n)
+        for cview, key_prober, key_flat, col_map in plan_entries:
+            if len(idx) == 0:
+                break
+            keys = key_cache.get(key_prober)
+            if keys is None:
+                if len(key_prober) == 1:
+                    keys = batch_cols[key_prober[0]].tolist()
+                else:
+                    keys = list(zip(*(batch_cols[p].tolist()
+                                      for p in key_prober)))
+                key_cache[key_prober] = keys
+            cache_key = (id(cview), key_flat, key_prober)
+            buckets = bucket_cache.get(cache_key)
+            if buckets is None:
+                get = cview.indexes[key_flat]._buckets.get
+                buckets = [get(key) for key in keys]
+                bucket_cache[cache_key] = buckets
+            if identity:
+                hits = buckets
+            else:
+                hits = [buckets[i] for i in idx.tolist()]
+            counts = np.array([len(b) if b is not None else 0 for b in hits],
+                              dtype=np.int64)
+            total = int(counts.sum())
+            # cost model: one probe per surviving prober row, one unit per
+            # candidate examined (mirrors _delta's accounting)
+            distinct = (len(idx) if identity
+                        else int(np.count_nonzero(np.diff(idx))) + 1)
+            self.work += distinct + total
+            ids = np.array(
+                [row_id for b in hits if b is not None for row_id in b],
+                dtype=np.int64)
+            identity = False
+            gathers = [(cv, np.repeat(prev_ids, counts), cm)
+                       for cv, prev_ids, cm in gathers]
+            idx = np.repeat(idx, counts)
+            mult = np.repeat(mult, counts) * cview.mults.view()[ids]
+            gathers.append((cview, ids, col_map))
+        if len(idx) == 0:
+            return None, np.zeros(0, dtype=np.int64)
+        columns: List[Optional[np.ndarray]] = [None] * arity
+        for target_pos, batch_pos in prober_map:
+            columns[target_pos] = batch_cols[batch_pos][idx]
+        for cview, ids, col_map in gathers:
+            for target_pos, view_pos in col_map:
+                columns[target_pos] = cview.cols[view_pos].view()[ids]
+        return columns, mult
+
+    def _process_batch(self, rel_name: str, batch: ColumnBatch,
+                       sign: int) -> ColumnBatch:
+        """Whole-batch ``_process``: one columnar delta per target view
+        plus the output delta, all against the frozen pre-batch state,
+        then bulk applies."""
+        n = batch.length
+        if n == 0:
+            return ColumnBatch([], 0, sign)
+        batch_cols = [_as_array(col) for col in batch.columns]
+        bucket_cache: dict = {}
+        key_cache: dict = {}
+        deltas = []
+        for subset in self._targets[rel_name]:
+            deltas.append((subset, self._delta_batch(
+                rel_name, batch_cols, n, subset, bucket_cache, key_cache)))
+        if self.store_result and deltas and deltas[-1][0] == self._full:
+            out_cols, out_mult = deltas[-1][1]
+        else:
+            out_cols, out_mult = self._delta_batch(
+                rel_name, batch_cols, n, self._full, bucket_cache, key_cache)
+        for subset, (columns, mult) in deltas:
+            if len(mult) == 0:
+                continue
+            cview = self._cviews[subset]
+            if sign > 0:
+                cview.extend(columns, mult)
+            else:
+                cview.retract(columns, mult)
+            if len(subset) < len(self._full):
+                self.intermediate_tuples += int(mult.sum())
+        k = len(out_mult)
+        if k == 0:
+            return ColumnBatch([], 0, sign)
+        if (out_mult != 1).any():
+            expand = np.repeat(np.arange(k), out_mult)
+            out_cols = [col[expand] for col in out_cols]
+            k = len(expand)
+        return ColumnBatch(out_cols, k, sign)
+
     # -- public interface ------------------------------------------------------
 
+    def insert_batch(self, rel_name: str, rows) -> object:
+        if isinstance(rows, ColumnBatch):
+            if self._cviews is None and self._columnar_capable:
+                self._activate_columnar()
+            if self._cviews is not None:
+                return self._process_batch(rel_name, rows, +1)
+            rows = rows.to_rows()
+        elif self._cviews is not None:
+            batch = ColumnBatch.from_rows([tuple(row) for row in rows])
+            return self._process_batch(rel_name, batch, +1).to_rows()
+        return super().insert_batch(rel_name, rows)
+
+    def delete_batch(self, rel_name: str, rows) -> object:
+        if isinstance(rows, ColumnBatch):
+            if self._cviews is None and self._columnar_capable:
+                self._activate_columnar()
+            if self._cviews is not None:
+                return self._process_batch(rel_name, rows, -1)
+            rows = rows.to_rows()
+        elif self._cviews is not None:
+            batch = ColumnBatch.from_rows([tuple(row) for row in rows])
+            return self._process_batch(rel_name, batch, -1).to_rows()
+        return super().delete_batch(rel_name, rows)
+
     def insert(self, rel_name: str, row: tuple) -> List[tuple]:
+        if self._cviews is not None:
+            batch = ColumnBatch.from_rows([tuple(row)])
+            return self._process_batch(rel_name, batch, +1).to_rows()
         return self._process(rel_name, row, +1)
 
     def delete(self, rel_name: str, row: tuple) -> List[tuple]:
+        if self._cviews is not None:
+            batch = ColumnBatch.from_rows([tuple(row)])
+            return self._process_batch(rel_name, batch, -1).to_rows()
         return self._process(rel_name, row, -1)
 
     def view_size(self, *names: str) -> int:
         """Multiplicity-weighted size of one maintained view (test hook)."""
+        if self._cviews is not None:
+            return self._cviews[frozenset(names)].total
         return self.views[frozenset(names)].total
 
     def state_size(self) -> int:
+        if self._cviews is not None:
+            return sum(cview.total for cview in self._cviews.values())
         return sum(view.total for view in self.views.values())
 
     def reset(self):
         for view in self.views.values():
             view.clear()
+        self._cviews = None
+        self._cplans = None

@@ -56,6 +56,50 @@ class HashIndex:
         return self.size
 
 
+class IdIndex:
+    """Multimap from key to *row ids* in insertion order.
+
+    The columnar join kernel stores view rows as growable column vectors
+    addressed by integer id; probe-side key extraction then resolves a
+    key to an id list that feeds straight into NumPy fancy indexing,
+    instead of materializing row tuples the way :class:`HashIndex` does.
+    """
+
+    __slots__ = ("_buckets",)
+
+    def __init__(self):
+        self._buckets: Dict[object, List[int]] = {}
+
+    def insert(self, key, row_id: int):
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [row_id]
+        else:
+            bucket.append(row_id)
+
+    def remove(self, key, row_id: int):
+        """Drop one id; a missing key/id is a no-op (already retracted)."""
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(row_id)
+        except ValueError:
+            return
+        if not bucket:
+            del self._buckets[key]
+
+    def get(self, key) -> Optional[List[int]]:
+        """The id bucket for ``key`` (None when empty) -- not a copy."""
+        return self._buckets.get(key)
+
+    def keys(self):
+        return self._buckets.keys()
+
+    def __len__(self):
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
 class SortedIndex:
     """Ordered index over (key, row) with bisect-backed storage.
 

@@ -28,6 +28,16 @@ class Partitioner:
         """Machine ids in ``[0, n_machines)`` that must receive this tuple."""
         raise NotImplementedError
 
+    def destination_matrix(self, rel_name: str, batch):
+        """Vectorized ``destinations`` over a whole ``ColumnBatch``.
+
+        Returns an ``(n_rows, n_copies)`` machine-id matrix (row ``i``
+        lists every machine that must receive tuple ``i``), or None when
+        the scheme has no vectorized path -- the grouping then falls back
+        to per-row ``destinations``.
+        """
+        return None
+
     def expected_replication(self, rel_name: str) -> int:
         """How many machines each tuple of ``rel_name`` is sent to."""
         raise NotImplementedError

@@ -20,6 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.columnar import hash_column
 from repro.core.predicates import AttrRef
 from repro.core.schema import Schema
 from repro.partitioning.base import Partitioner
@@ -323,6 +326,36 @@ class HypercubePartitioner(Partitioner):
 
     def destinations(self, rel_name: str, row: tuple) -> List[int]:
         return [self.linearize(c) for c in self.coordinates(rel_name, row)]
+
+    def destination_matrix(self, rel_name: str, batch) -> np.ndarray:
+        """Vectorized ``destinations``: an ``(n_rows, n_copies)`` matrix.
+
+        Hash dimensions pin coordinates via the vectorized stable hash
+        (bit-identical to the row path, so hash routing stays batch-size
+        invariant); random dimensions draw per-row coordinates from the
+        same rng (a different draw *order* than the row path, which only
+        reshuffles content-insensitive placement, never the join result).
+        Replicated dimensions become a per-row offset cross-product.
+        """
+        sizes = self.config.sizes
+        n = len(batch)
+        base = np.zeros(n, dtype=np.int64)
+        for j, position, kind in self._owned[rel_name]:
+            if kind == HASH:
+                coord = (hash_column(batch.columns[position])
+                         % np.uint64(sizes[j])).astype(np.int64)
+            else:
+                randrange = self._rng.randrange
+                size = sizes[j]
+                coord = np.fromiter((randrange(size) for _ in range(n)),
+                                    dtype=np.int64, count=n)
+            base += coord * self._strides[j]
+        offsets = [0]
+        for j in self._replicated[rel_name]:
+            stride = self._strides[j]
+            offsets = [o + v * stride
+                       for o in offsets for v in range(sizes[j])]
+        return base[:, None] + np.array(offsets, dtype=np.int64)[None, :]
 
     def expected_replication(self, rel_name: str) -> int:
         replication = 1

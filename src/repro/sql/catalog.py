@@ -49,18 +49,22 @@ class SqlSession:
         return "\n".join(parts)
 
     def execute(self, sql: str, batch_size: int = 1, executor: str = "inline",
-                parallelism: Optional[int] = None) -> RunResult:
+                parallelism: Optional[int] = None,
+                columnar: Optional[bool] = None) -> RunResult:
         """Parse, optimize and run a query on the local cluster.
 
         ``batch_size`` sets the micro-batch granularity and ``executor`` /
         ``parallelism`` the execution backend ('inline', 'threads' or
         'processes' over N shared-nothing workers); all backends return
-        the same result multiset."""
+        the same result multiset.  ``columnar`` toggles the vectorized
+        execution path (default: on for batch_size >= 64)."""
         return run_plan(self.plan(sql), batch_size=batch_size,
-                        executor=executor, parallelism=parallelism)
+                        executor=executor, parallelism=parallelism,
+                        columnar=columnar)
 
     def stream(self, sql: str, batch_size: int = 64,
-               executor: str = "inline", rate: Optional[float] = None):
+               executor: str = "inline", rate: Optional[float] = None,
+               columnar: bool = False):
         """Run a query *continuously*: the registered relations are
         replayed as rate-limited push sources and the query stays
         resident, emitting live ``(+row / -row)`` result deltas.
@@ -79,4 +83,5 @@ class SqlSession:
         ts_positions = agg_window_ts_positions(
             self.catalog, logical.scans, self.options.agg_window)
         return stream_plan(physical, batch_size=batch_size, executor=executor,
-                           rate=rate, ts_positions=ts_positions)
+                           rate=rate, ts_positions=ts_positions,
+                           columnar=columnar)

@@ -23,8 +23,10 @@ which spread the tasks across parallel workers exchanging micro-batches.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.columnar import COLUMNAR_MIN_BATCH, ColumnBatch
 from repro.storm.executor import ExecutorError, Router, create_executor
 from repro.storm.metrics import TopologyMetrics
 from repro.storm.topology import Bolt, Spout, Topology, TopologyError
@@ -74,8 +76,8 @@ class LocalCluster:
     # -- execution ---------------------------------------------------------
 
     def run(self, max_tuples: Optional[int] = None, batch_size: int = 1,
-            executor: str = "inline",
-            parallelism: Optional[int] = None) -> TopologyMetrics:
+            executor: str = "inline", parallelism: Optional[int] = None,
+            columnar: Optional[bool] = None) -> TopologyMetrics:
         """Drain all spouts, then flush bolts in topological order.
 
         ``batch_size`` is the number of tuples pulled from each spout per
@@ -88,9 +90,25 @@ class LocalCluster:
         the tasks over ``parallelism`` shared-nothing workers (see
         :mod:`repro.storm.executor`).  All backends produce the same
         result multiset and per-component totals.
+
+        ``columnar`` turns the columnar execution path on/off; the
+        default (None) enables it for ``batch_size >= COLUMNAR_MIN_BATCH``
+        -- below that the per-batch vector overhead outweighs the win, and
+        ``batch_size=1`` keeps the seed engine's byte-identical path.
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if columnar is None:
+            columnar = batch_size >= COLUMNAR_MIN_BATCH
+        self._set_columnar(bool(columnar))
+        started = time.perf_counter()
+        try:
+            return self._run_inline(max_tuples, batch_size, executor,
+                                    parallelism)
+        finally:
+            self.metrics.elapsed = time.perf_counter() - started
+
+    def _run_inline(self, max_tuples, batch_size, executor, parallelism):
         if executor not in (None, "inline"):
             if max_tuples is not None:
                 raise ExecutorError(
@@ -126,11 +144,29 @@ class LocalCluster:
                 self._drain(stack)
                 if max_tuples is not None and pulled >= max_tuples:
                     return self.metrics
-                if len(emissions) == limit:
+                # a short batch normally means exhaustion, but a columnar
+                # spout's selection can thin a mid-stream chunk below the
+                # limit -- keep any spout that says it has rows left
+                has_more = getattr(spout, "has_more", None)
+                if len(emissions) == limit or (
+                        has_more is not None and has_more()):
                     still_active.append((name, task_index, spout))
             active = still_active
         self.flush_bolts()
         return self.metrics
+
+    def _set_columnar(self, enabled: bool):
+        """Flag every columnar-capable spout before draining starts.
+
+        Must run before a parallel backend forks/starts its workers so
+        the flag travels with the task instances.
+        """
+        for name, spec in self.topology.components.items():
+            if not spec.is_spout:
+                continue
+            for instance in self._tasks[name]:
+                if hasattr(instance, "columnar"):
+                    instance.columnar = enabled
 
     # -- external drivers (continuous runtime) -----------------------------
 
@@ -194,6 +230,7 @@ class LocalCluster:
             target, task, source, stream, rows = stack.pop()
             metrics.record_receive(source, target, task, len(rows))
             metrics.record_batch(target, task)
+            metrics.record_path(isinstance(rows, ColumnBatch), len(rows))
             bolt: Bolt = tasks[target][task]
             emissions = bolt.execute_batch(source, stream, rows)
             if emissions:

@@ -43,10 +43,12 @@ import threading
 import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import ColumnBatch, ColumnEmissions
 from repro.storm.topology import Topology, TopologyError
 
 #: one routed unit of work: rows of `stream` (emitted by `source`)
-#: awaiting execution at task `task` of component `target`
+#: awaiting execution at task `task` of component `target`; under the
+#: columnar path the rows payload is a ColumnBatch instead of a row list
 WorkItem = Tuple[str, int, str, str, List[tuple]]
 
 EXECUTOR_NAMES = ("inline", "threads", "processes")
@@ -158,6 +160,14 @@ class Router:
         individually (the seed engine's per-tuple dispatch order).
         """
         items: List[WorkItem] = []
+        if isinstance(emissions, ColumnEmissions):
+            if coalesce:
+                # already a single-stream batch: route it columnar, no
+                # coalescing scan and no row materialization
+                self._route_one(items, source, emissions.stream,
+                                emissions.batch)
+                return items
+            emissions = list(emissions)  # per-tuple dispatch order
         if not coalesce:
             for stream, values in emissions:
                 self._route_one(items, source, stream, [values])
@@ -195,8 +205,10 @@ class Router:
 # ---------------------------------------------------------------------------
 
 #: counter deltas one worker accumulated during a wave:
-#: (emits, receives, batches) as lists of argument tuples for TopologyMetrics
-MetricDeltas = Tuple[List[tuple], List[tuple], List[tuple]]
+#: (emits, receives, batches) as lists of argument tuples for
+#: TopologyMetrics, plus the worker's execution-path counters
+#: [columnar_rows, columnar_batches, row_rows, row_batches]
+MetricDeltas = Tuple[List[tuple], List[tuple], List[tuple], List[int]]
 
 
 class WorkerState:
@@ -232,6 +244,7 @@ class WorkerState:
         emits: List[tuple] = []
         receives: List[tuple] = []
         batches: List[tuple] = []
+        paths = [0, 0, 0, 0]  # columnar rows/batches, row rows/batches
         route = self.router.route
         for name in components:
             owned = self.owned.get(name)
@@ -240,6 +253,7 @@ class WorkerState:
             if self.is_spout[name]:
                 for task_index in sorted(owned):
                     spout = owned[task_index]
+                    has_more = getattr(spout, "has_more", None)
                     while True:
                         emissions = spout.next_batch(self.batch_size)
                         if not emissions:
@@ -247,7 +261,11 @@ class WorkerState:
                         emits.append((name, task_index, len(emissions)))
                         batches.append((name, task_index))
                         out.extend(route(name, emissions))
-                        if len(emissions) < self.batch_size:
+                        # a short batch means exhaustion unless the spout
+                        # says otherwise (a columnar spout's selection can
+                        # thin a mid-stream chunk below batch_size)
+                        if len(emissions) < self.batch_size and not (
+                                has_more is not None and has_more()):
                             break
             else:
                 for task_index in sorted(owned):
@@ -255,6 +273,12 @@ class WorkerState:
                     for source, stream, rows in delivered.get((name, task_index), ()):
                         receives.append((source, name, task_index, len(rows)))
                         batches.append((name, task_index))
+                        if isinstance(rows, ColumnBatch):
+                            paths[0] += len(rows)
+                            paths[1] += 1
+                        else:
+                            paths[2] += len(rows)
+                            paths[3] += 1
                         emissions = bolt.execute_batch(source, stream, rows)
                         if emissions:
                             emits.append((name, task_index, len(emissions)))
@@ -263,7 +287,7 @@ class WorkerState:
                     if emissions:
                         emits.append((name, task_index, len(emissions)))
                         out.extend(route(name, emissions))
-        return out, (emits, receives, batches)
+        return out, (emits, receives, batches, paths)
 
     def exports(self) -> Dict[Tuple[str, int], object]:
         """Final owned task instances, for post-run state extraction."""
@@ -444,13 +468,14 @@ class StagedExecutor:
                 # so the merged delivery order is deterministic
                 for worker in workers:
                     routed, deltas = self._reply(worker)
-                    emits, receives, batches = deltas
+                    emits, receives, batches, paths = deltas
                     for name, task_index, count in emits:
                         metrics.record_emit(name, task_index, count)
                     for source, target, task_index, count in receives:
                         metrics.record_receive(source, target, task_index, count)
                     for name, task_index in batches:
                         metrics.record_batch(name, task_index)
+                    metrics.merge_path_counts(*paths)
                     for target, task_index, source, stream, rows in routed:
                         pending.setdefault((target, task_index), []).append(
                             (source, stream, rows)

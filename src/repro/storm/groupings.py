@@ -9,12 +9,16 @@ small predefined key domain to avoid hash imperfections (paper section 5).
 from __future__ import annotations
 
 import copy
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.columnar import ColumnBatch, bucket_by_task, hash_key_columns
 from repro.partitioning.base import Partitioner
 from repro.util import stable_hash
 
-#: ordered per-task sub-batches produced by :meth:`Grouping.targets_batch`
+#: ordered per-task sub-batches produced by :meth:`Grouping.targets_batch`;
+#: under the columnar path the per-task rows are ``ColumnBatch`` instances
 TaskBatches = List[Tuple[int, List[tuple]]]
 
 
@@ -110,6 +114,9 @@ class ShuffleGrouping(Grouping):
                       n_tasks: int) -> TaskBatches:
         start = self._next
         self._next += len(rows)
+        if isinstance(rows, ColumnBatch):
+            tasks = (start + np.arange(len(rows))) % n_tasks
+            return bucket_by_task(rows, tasks)
         buckets: Dict[int, List[tuple]] = {}
         order: List[int] = []
         for offset, row in enumerate(rows):
@@ -135,6 +142,10 @@ class FieldsGrouping(Grouping):
     def targets_batch(self, stream: str, rows: Sequence[tuple],
                       n_tasks: int) -> TaskBatches:
         positions = self.positions
+        if isinstance(rows, ColumnBatch):
+            tasks = (hash_key_columns(rows, positions)
+                     % np.uint64(n_tasks)).astype(np.int64)
+            return bucket_by_task(rows, tasks)
         buckets: Dict[int, List[tuple]] = {}
         order: List[int] = []
         for row in rows:
@@ -151,6 +162,9 @@ class AllGrouping(Grouping):
 
     def targets_batch(self, stream: str, rows: Sequence[tuple],
                       n_tasks: int) -> TaskBatches:
+        if isinstance(rows, ColumnBatch):
+            # batches are immutable downstream, so replicas share columns
+            return [(task, rows) for task in range(n_tasks)]
         return [(task, list(rows)) for task in range(n_tasks)]
 
     def is_content_sensitive(self) -> bool:
@@ -165,6 +179,8 @@ class GlobalGrouping(Grouping):
 
     def targets_batch(self, stream: str, rows: Sequence[tuple],
                       n_tasks: int) -> TaskBatches:
+        if isinstance(rows, ColumnBatch):
+            return [(0, rows)]
         return [(0, list(rows))]
 
     def is_content_sensitive(self) -> bool:
@@ -213,8 +229,20 @@ class HypercubeGrouping(Grouping):
                 f"joiner parallelism {n_tasks} does not match the scheme's "
                 f"{self.partitioner.n_machines} machines"
             )
-        destinations = self.partitioner.destinations
         rel_name = self.rel_name
+        if isinstance(rows, ColumnBatch):
+            matrix = self.partitioner.destination_matrix(rel_name, rows)
+            if matrix is not None:
+                if matrix.shape[1] == 1:
+                    return bucket_by_task(rows, matrix[:, 0])
+                out: TaskBatches = []
+                for task in range(n_tasks):
+                    idx = np.flatnonzero((matrix == task).any(axis=1))
+                    if len(idx):
+                        out.append((task, rows.take(idx)))
+                return out
+            rows = rows.to_rows()
+        destinations = self.partitioner.destinations
         buckets: Dict[int, List[tuple]] = {}
         order: List[int] = []
         for row in rows:
@@ -258,6 +286,13 @@ class KeyMappedGrouping(Grouping):
                       n_tasks: int) -> TaskBatches:
         position = self.position
         mapping = self.mapping
+        if isinstance(rows, ColumnBatch):
+            values = rows.column_list(position)
+            tasks = np.fromiter(
+                ((mapping[key] if key in mapping else stable_hash(key))
+                 % n_tasks for key in values),
+                dtype=np.int64, count=len(values))
+            return bucket_by_task(rows, tasks)
         buckets: Dict[int, List[tuple]] = {}
         order: List[int] = []
         for row in rows:

@@ -30,6 +30,16 @@ class TopologyMetrics:
     #: The load-balance signal of the parallel backends -- per-task *tuple*
     #: counts alone cannot tell an idle spout task from a starved one.
     batches: Dict[str, List[int]] = field(default_factory=dict)
+    #: execution-path counters: rows/batches delivered to bolts as columnar
+    #: ColumnBatch payloads vs. plain row lists -- so a bench run can prove
+    #: which kernel actually ran instead of inferring it from the knobs
+    columnar_rows: int = 0
+    columnar_batches: int = 0
+    row_rows: int = 0
+    row_batches: int = 0
+    #: wall-clock seconds of the run that produced these counters (set by
+    #: LocalCluster.run); basis for the per-component rows/sec monitor
+    elapsed: float = 0.0
 
     def register(self, component: str, parallelism: int):
         self.received[component] = [0] * parallelism
@@ -52,6 +62,39 @@ class TopologyMetrics:
 
     def batch_counts(self, component: str) -> List[int]:
         return list(self.batches.get(component, ()))
+
+    def record_path(self, columnar: bool, rows: int):
+        """One bolt delivery took the columnar (or row) execution path."""
+        if columnar:
+            self.columnar_rows += rows
+            self.columnar_batches += 1
+        else:
+            self.row_rows += rows
+            self.row_batches += 1
+
+    def merge_path_counts(self, columnar_rows: int, columnar_batches: int,
+                          row_rows: int, row_batches: int):
+        """Fold in path counters collected by a parallel worker."""
+        self.columnar_rows += columnar_rows
+        self.columnar_batches += columnar_batches
+        self.row_rows += row_rows
+        self.row_batches += row_batches
+
+    def rows_per_second(self, component: str) -> float:
+        """Input rows of ``component`` over the run's wall-clock time."""
+        if not self.elapsed:
+            return 0.0
+        return self.component_input(component) / self.elapsed
+
+    def path_summary(self) -> str:
+        """Which execution path the run's bolt deliveries actually took."""
+        total = self.columnar_rows + self.row_rows
+        if not total:
+            return "no bolt deliveries"
+        share = 100.0 * self.columnar_rows / total
+        return (f"columnar {self.columnar_rows}/{total} rows ({share:.0f}%) "
+                f"in {self.columnar_batches} batches; "
+                f"row {self.row_rows} rows in {self.row_batches} batches")
 
     # -- component-level monitors -----------------------------------------
 

@@ -40,6 +40,7 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.columnar import ColumnBatch, ColumnEmissions
 from repro.engine.operators import Projection, Selection
 from repro.storm.cluster import LocalCluster
 from repro.storm.executor import (
@@ -70,17 +71,21 @@ class SourcePump:
 
     def __init__(self, name: str, source: PushSource,
                  selection: Optional[Selection] = None,
-                 projection: Optional[Projection] = None):
+                 projection: Optional[Projection] = None,
+                 columnar: bool = False):
         self.name = name
         self.source = source
         self.selection = selection
         self.projection = projection
+        #: coalesce single-stream polls into a ColumnBatch so downstream
+        #: bolts take their vectorized paths (opt-in; see stream_plan)
+        self.columnar = columnar
         self.emitted = 0
         #: raw rows the last poll pulled, pre-selection: a fully filtered
         #: batch still *advanced the source* and counts as progress
         self.last_poll_raw = 0
 
-    def poll(self, max_rows: int) -> List[Emission]:
+    def poll(self, max_rows: int):
         emissions = self.source.poll(max_rows)
         self.last_poll_raw = len(emissions)
         if not emissions:
@@ -93,6 +98,11 @@ class SourcePump:
             apply = self.projection.apply
             emissions = [(stream, apply(row)) for stream, row in emissions]
         self.emitted += len(emissions)
+        if self.columnar and emissions:
+            stream = emissions[0][0]
+            if all(s == stream for s, _row in emissions):
+                return ColumnEmissions(
+                    stream, ColumnBatch.from_rows([r for _s, r in emissions]))
         return emissions
 
     def watermark(self) -> Optional[float]:
@@ -120,7 +130,8 @@ class StreamingCluster:
                      Dict[str, Tuple[Optional[Selection],
                                      Optional[Projection]]]] = None,
                  clock: Callable[[], float] = time.monotonic,
-                 idle_sleep: float = 0.0005):
+                 idle_sleep: float = 0.0005,
+                 columnar: bool = False):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if executor not in STREAMING_EXECUTORS:
@@ -150,7 +161,8 @@ class StreamingCluster:
         self.stats = StreamMetrics(clock=clock)
         operators = source_operators or {}
         self._pumps: Dict[str, SourcePump] = {
-            name: SourcePump(name, source, *operators.get(name, (None, None)))
+            name: SourcePump(name, source, *operators.get(name, (None, None)),
+                             columnar=columnar and batch_size > 1)
             for name, source in sources.items()
         }
         self._source_wm = WatermarkTracker()
@@ -371,8 +383,12 @@ class StreamingCluster:
         ``Queue.put`` blocks when the target queue is full: this is the
         backpressure edge -- a slow consumer stalls its producers, and
         transitively the source pumps."""
+        if not isinstance(emissions, ColumnEmissions):
+            # materialize generators; a columnar batch must NOT be listed
+            # out here or it would degrade to per-row pairs
+            emissions = list(emissions)
         for target, task, src, stream, rows in router.route(
-                source, list(emissions), coalesce=self.batch_size > 1):
+                source, emissions, coalesce=self.batch_size > 1):
             self._queues[(target, task)].put((_DATA, src, stream, rows))
 
     def _broadcast(self, source: str, message: tuple):

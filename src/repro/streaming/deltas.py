@@ -22,6 +22,7 @@ from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Deque, Iterator, List, Optional
 
+from repro.core.columnar import ColumnBatch
 from repro.engine.runner import RETRACT_SUFFIX
 from repro.storm.topology import Bolt
 
@@ -109,6 +110,10 @@ class DeltaSink(Bolt):
         return self.execute_batch(source, stream, [values])
 
     def execute_batch(self, source: str, stream: str, rows):
+        if isinstance(rows, ColumnBatch):
+            # one materialization at the subscription boundary; the per-row
+            # loops below then run over plain tuples
+            rows = rows.to_rows()
         retract = stream.endswith(RETRACT_SUFFIX)
         deltas: List[Delta] = []
         with self._lock:

@@ -179,7 +179,8 @@ def stream_plan(plan: PhysicalPlan, batch_size: int = 64,
                 queue_capacity: int = 128,
                 sources: Optional[Dict[str, PushSource]] = None,
                 ts_positions: Optional[Dict[str, int]] = None,
-                clock: Callable[[], float] = time.monotonic) -> "StreamingQuery":
+                clock: Callable[[], float] = time.monotonic,
+                columnar: bool = False) -> "StreamingQuery":
     """Compile a physical plan into a continuously running query.
 
     By default every source relation is replayed through a
@@ -188,6 +189,12 @@ def stream_plan(plan: PhysicalPlan, batch_size: int = 64,
     by the plan's window specs (override or extend via ``ts_positions``:
     source name -> raw column position).  Pass ``sources`` to substitute
     real push sources for some or all relations.
+
+    ``columnar=True`` (opt-in, unlike the batch engine's size-based
+    default) makes the source pumps coalesce each poll into a
+    :class:`~repro.core.columnar.ColumnBatch`, so joins and aggregations
+    take their vectorized paths; the delta feed and snapshots are
+    unchanged.
 
     Returns a :class:`StreamingQuery`; iterate it for live deltas, call
     :meth:`~StreamingQuery.run` to drive it to exhaustion, and
@@ -216,7 +223,7 @@ def stream_plan(plan: PhysicalPlan, batch_size: int = 64,
     cluster = StreamingCluster(
         topology, pumps, batch_size=batch_size, executor=executor,
         queue_capacity=queue_capacity, source_operators=operators,
-        clock=clock,
+        clock=clock, columnar=columnar,
     )
     return StreamingQuery(cluster, partitioner_info={
         name: partitioner.describe()

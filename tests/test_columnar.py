@@ -1,0 +1,183 @@
+"""ColumnBatch unit + property tests: adapters, hashing, pickling.
+
+The columnar representation is only allowed into the dataplane because
+it is *indistinguishable* from the row representation at the edges:
+``from_rows``/``to_rows`` round-trip losslessly over arbitrary schemas
+(property-tested here, including empty batches and sign=-1 retraction
+batches), the vectorized hashes are bit-for-bit ``stable_hash``, and a
+batch survives the processes executor's pickle pipes without its
+derived row cache.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.columnar import (
+    COLUMNAR_MIN_BATCH,
+    ColumnBatch,
+    ColumnEmissions,
+    bucket_by_task,
+    hash_column,
+    hash_key_columns,
+    make_column,
+)
+from repro.util import stable_hash
+
+
+class TestMakeColumn:
+    def test_all_int_becomes_int64_vector(self):
+        col = make_column([1, -2, 3])
+        assert isinstance(col, np.ndarray) and col.dtype == np.int64
+
+    def test_all_float_becomes_float64_vector(self):
+        col = make_column([1.5, -2.0])
+        assert isinstance(col, np.ndarray) and col.dtype == np.float64
+
+    def test_mixed_int_float_stays_list(self):
+        # coercing 1 -> 1.0 would change the value's type on round-trip
+        assert make_column([1, 2.0]) == [1, 2.0]
+
+    def test_strings_none_and_bools_stay_lists(self):
+        assert make_column(["a", "b"]) == ["a", "b"]
+        assert make_column([1, None]) == [1, None]
+        assert make_column([True, False]) == [True, False]
+
+    def test_int_beyond_64_bits_stays_list(self):
+        values = [2**70, 1]
+        assert make_column(values) == values
+
+
+# column generators: uniformly-typed and deliberately mixed
+_INTS = st.integers(min_value=-(2**62), max_value=2**62)
+_FLOATS = st.floats(allow_nan=False, allow_infinity=False, width=64)
+_STRINGS = st.text(max_size=8)
+_VALUES = st.one_of(_INTS, _FLOATS, _STRINGS, st.none())
+
+
+@st.composite
+def row_batches(draw):
+    arity = draw(st.integers(min_value=0, max_value=4))
+    n = draw(st.integers(min_value=0, max_value=12))
+    columns = []
+    for _ in range(arity):
+        kind = draw(st.sampled_from(["int", "float", "str", "mixed"]))
+        strategy = {"int": _INTS, "float": _FLOATS, "str": _STRINGS,
+                    "mixed": _VALUES}[kind]
+        columns.append([draw(strategy) for _ in range(n)])
+    rows = [tuple(col[i] for col in columns) for i in range(n)]
+    sign = draw(st.sampled_from([1, -1]))
+    return rows, sign
+
+
+class TestColumnBatchRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(row_batches())
+    def test_from_rows_to_rows_round_trip(self, batch):
+        rows, sign = batch
+        built = ColumnBatch.from_rows(list(rows), sign)
+        assert built.to_rows() == rows
+        assert [type(v) for row in built.to_rows() for v in row] == \
+            [type(v) for row in rows for v in row]
+        rebuilt = ColumnBatch.from_rows(built.to_rows(), sign)
+        assert rebuilt == built
+        assert rebuilt.sign == sign and len(rebuilt) == len(rows)
+
+    def test_empty_batch(self):
+        empty = ColumnBatch.from_rows([])
+        assert len(empty) == 0 and not empty
+        assert empty.to_rows() == []
+        assert ColumnBatch.from_rows(empty.to_rows()) == empty
+
+    def test_retraction_batch_keeps_sign(self):
+        batch = ColumnBatch.from_rows([(1, "a")], sign=-1)
+        assert batch.sign == -1
+        assert ColumnBatch.from_rows(batch.to_rows(), sign=-1) == batch
+
+    def test_sequence_compatibility(self):
+        rows = [(1, "x"), (2, "y")]
+        batch = ColumnBatch.from_rows(rows)
+        assert list(batch) == rows
+        assert batch[0] == (1, "x")
+        assert len(batch) == 2 and bool(batch)
+
+    def test_take_and_take_columns(self):
+        batch = ColumnBatch.from_rows([(1, "a", 1.0), (2, "b", 2.0),
+                                       (3, "c", 3.0)])
+        assert batch.take([2, 0]).to_rows() == [(3, "c", 3.0), (1, "a", 1.0)]
+        assert batch.take_columns([1]).to_rows() == [("a",), ("b",), ("c",)]
+
+
+class TestColumnBatchPickle:
+    @settings(max_examples=50, deadline=None)
+    @given(row_batches())
+    def test_pickle_round_trip(self, batch):
+        rows, sign = batch
+        built = ColumnBatch.from_rows(list(rows), sign)
+        built.to_rows()  # populate the derived cache
+        clone = pickle.loads(pickle.dumps(built))
+        assert clone == built
+        assert clone.to_rows() == rows
+
+    def test_pickle_drops_row_cache(self):
+        batch = ColumnBatch.from_rows([(1, 2), (3, 4)])
+        batch.to_rows()
+        assert batch.__getstate__() == (batch.columns, 2, 1)
+        clone = pickle.loads(pickle.dumps(batch))
+        assert clone._rows is None  # rebuilt on demand, not shipped
+
+
+class TestHashParity:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(_INTS, max_size=20))
+    def test_int64_column_matches_stable_hash(self, values):
+        batch = ColumnBatch.from_rows([(v,) for v in values])
+        hashes = hash_column(batch.columns[0]) if values else []
+        assert [int(h) for h in hashes] == [stable_hash(v) for v in values]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_VALUES, min_size=1, max_size=20))
+    def test_fallback_column_matches_stable_hash(self, values):
+        hashes = hash_column(list(values))
+        assert [int(h) for h in hashes] == [stable_hash(v) for v in values]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(_INTS, _STRINGS, _FLOATS), min_size=1,
+                    max_size=15))
+    def test_key_columns_match_tuple_stable_hash(self, rows):
+        batch = ColumnBatch.from_rows(list(rows))
+        for positions in ([0], [1, 2], [0, 1, 2]):
+            hashes = hash_key_columns(batch, positions)
+            expected = [stable_hash(tuple(row[p] for p in positions))
+                        for row in rows]
+            assert [int(h) for h in hashes] == expected
+
+
+class TestColumnEmissions:
+    def test_duck_types_emission_list(self):
+        batch = ColumnBatch.from_rows([(1,), (2,)])
+        emissions = ColumnEmissions("S", batch)
+        assert len(emissions) == 2 and bool(emissions)
+        assert list(emissions) == [("S", (1,)), ("S", (2,))]
+        assert not ColumnEmissions("S", ColumnBatch.from_rows([]))
+
+
+class TestBucketByTask:
+    def test_single_task_returns_shared_batch(self):
+        batch = ColumnBatch.from_rows([(1,), (2,)])
+        buckets = bucket_by_task(batch, np.array([3, 3]))
+        assert buckets == [(3, batch)]
+        assert buckets[0][1] is batch
+
+    def test_buckets_in_first_assignment_order(self):
+        batch = ColumnBatch.from_rows([(10,), (11,), (12,), (13,)])
+        buckets = bucket_by_task(batch, np.array([2, 0, 2, 1]))
+        assert [(task, b.to_rows()) for task, b in buckets] == [
+            (2, [(10,), (12,)]), (0, [(11,)]), (1, [(13,)])]
+
+
+def test_default_threshold_is_pinned():
+    # groupings/tests/docs all quote 64; changing it is a docs change too
+    assert COLUMNAR_MIN_BATCH == 64
