@@ -36,6 +36,34 @@ def load_stats(path: str) -> dict:
     return stats
 
 
+def load_extra_info(path: str) -> dict:
+    """fullname -> the benchmark's ``extra_info`` dict (may be empty)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    return {bench["fullname"]: bench.get("extra_info", {})
+            for bench in data.get("benchmarks", [])}
+
+
+def fanout_scalings(extra_info: dict) -> list:
+    """(base name, subscribers, p99 ms, scaling vs fewest) rows for every
+    serving benchmark parametrized as ``[subsN]`` with a recorded p99."""
+    groups = {}
+    for name, info in extra_info.items():
+        if "subscribers" not in info or "p99_ms" not in info:
+            continue
+        base = name.split("[", 1)[0]
+        groups.setdefault(base, []).append(
+            (int(info["subscribers"]), float(info["p99_ms"])))
+    rows = []
+    for base, entries in sorted(groups.items()):
+        entries.sort()
+        reference = entries[0][1]
+        for subscribers, p99 in entries:
+            scaling = p99 / reference if reference else float("inf")
+            rows.append((base, subscribers, p99, scaling))
+    return rows
+
+
 def columnar_speedups(stats: dict) -> list:
     """(base name, row min, columnar min, speedup) for every benchmark
     measured as a ``[row]`` / ``[columnar]`` parameter pair."""
@@ -90,6 +118,14 @@ def main(argv=None) -> int:
         for name, row_min, col_min, speedup in speedups:
             print(f"{name:<60}{row_min:>12.4f}{col_min:>12.4f}"
                   f"{speedup:>7.2f}x")
+
+    scalings = fanout_scalings(load_extra_info(args.current))
+    if scalings:
+        print(f"\n{'serving fan-out':<60}{'subs':>12}{'p99 (ms)':>12}"
+              f"{'scaling':>8}")
+        for name, subscribers, p99, scaling in scalings:
+            print(f"{name:<60}{subscribers:>12}{p99:>12.3f}"
+                  f"{scaling:>7.2f}x")
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) slower than the "

@@ -8,17 +8,18 @@ functional collections API lower to identical logical plans).
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro.core.expressions import col
 from repro.core.optimizer import OptimizerOptions
 from repro.datasets import TPCHGenerator
 from repro.functional import QueryContext
-from repro.sql.catalog import SqlSession
 
 
 def main():
     print("Generating micro TPC-H (scale 0.5)...")
     tables = TPCHGenerator(scale=0.5, seed=1).generate()
-    session = SqlSession(options=OptimizerOptions(machines=4))
+    session = repro.connect(options=OptimizerOptions(machines=4),
+                            execution=repro.ExecutionOptions(batch_size=64))
     for relation in tables.values():
         session.register(relation)
         print(f"  registered {relation.name}: {len(relation)} rows")
@@ -46,7 +47,10 @@ def main():
     print(f"intermediate network factor: {result.intermediate_network_factor():.2f}")
 
     print("\n--- functional interface (same plan, method chaining) ---")
-    ctx = QueryContext(session.catalog, machines=4)
+    # same execution layer as the session, so the two runs take the very
+    # same kernels (float sums differ in the last bits across paths)
+    ctx = QueryContext(session.catalog, execution=session.execution,
+                       machines=4)
     result2 = (
         ctx.stream("customer")
         .equi_join(ctx.stream("orders"), "custkey", "custkey")

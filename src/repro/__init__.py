@@ -18,12 +18,25 @@ full system in Python:
   operators, window semantics and the plan runner.
 - :mod:`repro.sql` / :mod:`repro.functional` -- declarative and functional
   user interfaces.
+- :mod:`repro.streaming` -- the continuous runtime: resident topologies
+  over push sources, watermarks and incremental result deltas.
+- :mod:`repro.serving` -- the multi-tenant serving layer: a
+  :class:`~repro.serving.broker.QueryBroker` deduping identical plans
+  onto shared resident topologies with bounded fan-out subscriptions.
 - :mod:`repro.datasets` -- TPC-H, WebGraph, CrawlContent and Google
   cluster-monitoring workload generators.
 - :mod:`repro.costmodel` -- the calibrated bottleneck cost model used to
   translate measured loads into runtime estimates.
+
+The front door::
+
+    session = repro.connect(catalog)                  # private queries
+    session = repro.connect(catalog, broker=broker)   # shared serving
+    result = session.execute("SELECT ...",
+                             options=repro.ExecutionOptions(batch_size=64))
 """
 
+from repro.core.options import ExecutionOptions
 from repro.core.schema import Field, Schema, Relation
 from repro.core.predicates import (
     EquiCondition,
@@ -33,8 +46,40 @@ from repro.core.predicates import (
     RelationInfo,
 )
 from repro.joins.hyld import HyLDOperator
+from repro.streaming.deltas import Delta, SubscriberOverflow, Subscription
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def connect(catalog=None, broker=None, execution=None, tenant="default",
+            options=None):
+    """Open a :class:`~repro.sql.catalog.SqlSession` -- the package's
+    front door.
+
+    ``catalog`` holds the registered relations (a fresh one if omitted);
+    ``options`` configures the optimizer
+    (:class:`~repro.core.optimizer.OptimizerOptions`); ``execution``
+    sets the session's default :class:`ExecutionOptions` layer.  Pass a
+    shared :class:`~repro.serving.broker.QueryBroker` as ``broker`` (and
+    a ``tenant`` name) to make ``session.stream(...)`` attach to shared
+    resident topologies instead of running private ones.
+    """
+    from repro.sql.catalog import SqlSession
+
+    return SqlSession(catalog, options=options, execution=execution,
+                      broker=broker, tenant=tenant)
+
+
+def __getattr__(name):
+    # QueryBroker et al. live behind a lazy hook so `import repro` stays
+    # light; `repro.QueryBroker` still works for interactive use
+    if name in ("QueryBroker", "AdmissionError", "BrokerSubscription",
+                "DeltaServer"):
+        import repro.serving as serving
+
+        return getattr(serving, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Field",
@@ -46,5 +91,14 @@ __all__ = [
     "JoinSpec",
     "RelationInfo",
     "HyLDOperator",
+    "ExecutionOptions",
+    "Delta",
+    "Subscription",
+    "SubscriberOverflow",
+    "connect",
+    "QueryBroker",
+    "AdmissionError",
+    "BrokerSubscription",
+    "DeltaServer",
     "__version__",
 ]

@@ -1,0 +1,166 @@
+"""ExecutionOptions: the one options object every front-end accepts.
+
+Before this module, four call paths (``run_plan``, ``stream_plan``,
+``SqlSession.execute/stream`` and the functional terminals) each
+hand-threaded the same knobs -- ``batch_size``, ``executor``,
+``parallelism``, ``columnar`` -- with subtly different defaults: the
+batch engine turned the columnar path on at ``batch_size >= 64`` while
+``stream_plan`` required an explicit opt-in.  :class:`ExecutionOptions`
+is the single owner of those knobs and of their defaulting rules:
+
+- every field defaults to ``None`` = "not set";
+- :meth:`ExecutionOptions.resolve` fills the defaults *once*, including
+  the ``columnar``-on-at-``batch_size >= COLUMNAR_MIN_BATCH`` rule, so
+  batch and streaming execution resolve identically;
+- :func:`merge_options` is the one shared adapter that folds the legacy
+  per-call kwargs into an options object, warning ``DeprecationWarning``
+  when a kwarg conflicts with an explicit ``options=`` value.
+
+The serving layer (:mod:`repro.serving`) adds two subscriber-side knobs:
+``max_buffer`` (per-subscriber delta ring capacity) and ``on_overflow``
+(``'shed'`` drops the slow subscriber with a terminal
+:class:`~repro.streaming.deltas.SubscriberOverflow`; ``'block'`` applies
+producer backpressure instead).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.columnar import COLUMNAR_MIN_BATCH
+
+#: default per-subscriber delta ring capacity in the serving layer
+DEFAULT_MAX_BUFFER = 4096
+
+#: what happens when a subscriber's delta ring fills up
+OVERFLOW_POLICIES = ("shed", "block")
+
+#: the legacy per-call kwargs the shared adapter understands
+LEGACY_EXECUTION_KWARGS = (
+    "batch_size", "executor", "parallelism", "columnar", "rate",
+    "max_buffer", "on_overflow",
+)
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """How (not *what*) a query executes, across every front-end.
+
+    All fields default to ``None`` ("not set"); :meth:`resolve` applies
+    the engine-wide defaults.  Instances are frozen -- derive variants
+    with :meth:`replace` / :meth:`overlay`.
+    """
+
+    #: micro-batch granularity; None = the front-end default (1 for the
+    #: finite engine's golden per-tuple path, 64 for streaming)
+    batch_size: Optional[int] = None
+    #: execution backend: 'inline' | 'threads' | 'processes' (finite
+    #: plans only); None = 'inline'
+    executor: Optional[str] = None
+    #: shared-nothing workers for the parallel backends; None = auto
+    parallelism: Optional[int] = None
+    #: vectorized columnar path; None = on at batch_size >= 64
+    columnar: Optional[bool] = None
+    #: replayed rows/second per streaming source; None = unthrottled
+    rate: Optional[float] = None
+    #: per-subscriber delta ring capacity (serving); None = 4096
+    max_buffer: Optional[int] = None
+    #: slow-subscriber policy: 'shed' (terminal SubscriberOverflow,
+    #: never stalls the pipeline) | 'block' (producer backpressure)
+    on_overflow: Optional[str] = None
+
+    def resolve(self, default_batch_size: int = 1) -> "ExecutionOptions":
+        """Fill every unset knob with its engine-wide default.
+
+        This method is the *single* owner of the knob-defaulting rules;
+        in particular ``columnar=None`` resolves to
+        ``batch_size >= COLUMNAR_MIN_BATCH`` for batch and streaming
+        execution alike (the batch engine and ``stream_plan`` used to
+        disagree here).  ``parallelism`` stays ``None`` when unset --
+        "let the backend pick" is itself the default.
+        """
+        batch_size = (default_batch_size if self.batch_size is None
+                      else self.batch_size)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ValueError(
+                f"parallelism must be >= 1, got {self.parallelism}")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        columnar = self.columnar
+        if columnar is None:
+            columnar = batch_size >= COLUMNAR_MIN_BATCH
+        max_buffer = (DEFAULT_MAX_BUFFER if self.max_buffer is None
+                      else self.max_buffer)
+        if max_buffer < 1:
+            raise ValueError(f"max_buffer must be >= 1, got {max_buffer}")
+        on_overflow = self.on_overflow or "shed"
+        if on_overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"on_overflow must be one of {OVERFLOW_POLICIES}, "
+                f"got {on_overflow!r}")
+        return ExecutionOptions(
+            batch_size=batch_size,
+            executor=self.executor or "inline",
+            parallelism=self.parallelism,
+            columnar=bool(columnar),
+            rate=self.rate,
+            max_buffer=max_buffer,
+            on_overflow=on_overflow,
+        )
+
+    def replace(self, **changes) -> "ExecutionOptions":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def overlay(self, other: Optional["ExecutionOptions"]) -> "ExecutionOptions":
+        """A copy where every field *set* on ``other`` wins.
+
+        Layers per-call options over session/broker defaults: unset
+        (``None``) fields of ``other`` fall through to ``self``."""
+        if other is None:
+            return self
+        updates = {
+            field.name: value
+            for field in dataclasses.fields(other)
+            if (value := getattr(other, field.name)) is not None
+        }
+        return dataclasses.replace(self, **updates) if updates else self
+
+
+def merge_options(options: Optional[ExecutionOptions],
+                  legacy: Optional[dict] = None,
+                  stacklevel: int = 3) -> ExecutionOptions:
+    """The one shared adapter from legacy per-call kwargs to options.
+
+    ``legacy`` maps kwarg name -> value, with ``None`` meaning "not
+    passed" (every legacy kwarg's signature default is now ``None``).
+    Legacy kwargs alone keep working exactly as before -- the golden and
+    equivalence suites run byte-identical through this path.  When both
+    ``options=`` and a legacy kwarg set the same knob to *different*
+    values, the explicit ``options=`` value wins and the kwarg draws a
+    ``DeprecationWarning`` naming both.
+    """
+    merged = options or ExecutionOptions()
+    if not legacy:
+        return merged
+    updates = {}
+    for name, value in legacy.items():
+        if value is None:
+            continue
+        if name not in LEGACY_EXECUTION_KWARGS:
+            raise TypeError(f"unknown execution option {name!r}")
+        current = getattr(merged, name)
+        if current is not None and current != value:
+            warnings.warn(
+                f"legacy kwarg {name}={value!r} conflicts with "
+                f"ExecutionOptions.{name}={current!r}; the options= value "
+                f"wins -- pass only options=",
+                DeprecationWarning, stacklevel=stacklevel)
+            continue
+        updates[name] = value
+    return merged.replace(**updates) if updates else merged

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.columnar import ColumnBatch, ColumnEmissions
+from repro.core.options import ExecutionOptions, merge_options
 from repro.engine.component import (
     AggComponent,
     JoinComponent,
@@ -531,10 +532,18 @@ def build_topology(
 
 
 def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
-             batch_size: int = 1, executor: str = "inline",
+             batch_size: Optional[int] = None, executor: Optional[str] = None,
              parallelism: Optional[int] = None,
-             columnar: Optional[bool] = None) -> RunResult:
+             columnar: Optional[bool] = None,
+             options: Optional[ExecutionOptions] = None) -> RunResult:
     """Compile a physical plan to a topology and execute it locally.
+
+    Execution knobs are carried by ``options``
+    (:class:`~repro.core.options.ExecutionOptions`); the individual
+    kwargs remain as a deprecated spelling of the same thing, folded in
+    through the shared adapter (a conflicting kwarg warns and loses).
+    Unset knobs resolve to the finite engine's defaults: ``batch_size=1``
+    (the golden per-tuple path), ``executor='inline'``.
 
     ``batch_size`` is the number of tuples pulled from each spout per
     round; downstream micro-batches follow from it but are not re-chunked
@@ -563,11 +572,16 @@ def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
 
     For *continuous* execution of the same plan over unbounded push
     sources, see :func:`repro.streaming.stream_plan`."""
+    resolved = merge_options(options, dict(
+        batch_size=batch_size, executor=executor, parallelism=parallelism,
+        columnar=columnar)).resolve(default_batch_size=1)
     topology, partitioners = build_topology(plan)
     cluster = LocalCluster(topology)
-    metrics = cluster.run(max_tuples=max_tuples, batch_size=batch_size,
-                          executor=executor, parallelism=parallelism,
-                          columnar=columnar)
+    metrics = cluster.run(max_tuples=max_tuples,
+                          batch_size=resolved.batch_size,
+                          executor=resolved.executor,
+                          parallelism=resolved.parallelism,
+                          columnar=resolved.columnar)
 
     # all measurement state is read back from the cluster's tasks *after*
     # the run: under the processes backend these are the final instances

@@ -25,17 +25,25 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.expressions import Predicate
 from repro.core.logical import AggItem, LogicalPlan, ScanDef, resolve_column
 from repro.core.optimizer import Catalog, Optimizer, OptimizerOptions
+from repro.core.options import ExecutionOptions, merge_options
 from repro.core.predicates import BandCondition, EquiCondition, ThetaCondition
 from repro.core.schema import Schema
 from repro.engine.runner import RunResult, run_plan
 
 
 class QueryContext:
-    """Factory for streams over a catalog, carrying execution options."""
+    """Factory for streams over a catalog, carrying execution options.
 
-    def __init__(self, catalog: Catalog, **options):
+    ``execution`` is the context's default
+    :class:`~repro.core.options.ExecutionOptions` layer; the terminal
+    ``.execute(options=...)`` / ``.stream(options=...)`` overlay it.
+    Remaining keyword arguments configure the optimizer."""
+
+    def __init__(self, catalog: Catalog,
+                 execution: Optional[ExecutionOptions] = None, **options):
         self.catalog = catalog
         self.options = OptimizerOptions(**options)
+        self.execution = execution or ExecutionOptions()
         self._alias_counter = itertools.count(1)
 
     def stream(self, table: str, alias: Optional[str] = None) -> "Stream":
@@ -247,35 +255,40 @@ def _compile(context: QueryContext, logical: LogicalPlan, overrides: dict):
     return options, Optimizer(context.catalog, options).compile(logical)
 
 
+def _execution_options(context: QueryContext, overrides: dict,
+                       knobs: tuple) -> ExecutionOptions:
+    """Pull the execution knobs out of the optimizer overrides: context
+    execution defaults, overlaid by ``options=`` and the legacy kwargs
+    (through the shared deprecation adapter)."""
+    exec_options = overrides.pop("options", None)
+    legacy = {name: overrides.pop(name, None) for name in knobs}
+    return context.execution.overlay(
+        merge_options(exec_options, legacy, stacklevel=5))
+
+
 def _execute(context: QueryContext, logical: LogicalPlan,
              overrides: dict) -> RunResult:
-    # execution knobs ride along with the optimizer overrides: batch_size
-    # sets micro-batch granularity, executor/parallelism pick the backend
-    batch_size = overrides.pop("batch_size", 1)
-    executor = overrides.pop("executor", "inline")
-    parallelism = overrides.pop("parallelism", None)
-    columnar = overrides.pop("columnar", None)
+    # execution knobs ride along with the optimizer overrides, preferably
+    # bundled as options=ExecutionOptions(...)
+    merged = _execution_options(
+        context, overrides,
+        ("batch_size", "executor", "parallelism", "columnar"))
     _options, physical = _compile(context, logical, overrides)
-    return run_plan(physical, batch_size=batch_size, executor=executor,
-                    parallelism=parallelism, columnar=columnar)
+    return run_plan(physical, options=merged)
 
 
 def _stream(context: QueryContext, logical: LogicalPlan, overrides: dict):
     from repro.streaming.runner import agg_window_ts_positions, stream_plan
 
-    batch_size = overrides.pop("batch_size", 64)
-    executor = overrides.pop("executor", "inline")
-    rate = overrides.pop("rate", None)
-    columnar = overrides.pop("columnar", False)
     if "parallelism" in overrides:
         raise ValueError(
             "the streaming runtime has no parallelism knob: "
             "executor='threads' runs every task in its own worker thread "
             "(drop parallelism=, or use .execute() for the staged backends)"
         )
+    merged = _execution_options(
+        context, overrides, ("batch_size", "executor", "rate", "columnar"))
     options, physical = _compile(context, logical, overrides)
     ts_positions = agg_window_ts_positions(
         context.catalog, logical.scans, options.agg_window)
-    return stream_plan(physical, batch_size=batch_size, executor=executor,
-                       rate=rate, ts_positions=ts_positions,
-                       columnar=columnar)
+    return stream_plan(physical, ts_positions=ts_positions, options=merged)

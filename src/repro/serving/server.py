@@ -1,0 +1,193 @@
+"""DeltaServer: an asyncio push front-end over the QueryBroker.
+
+The network face of the serving layer: clients connect over TCP, send
+one JSON request line, and receive a live SSE-style stream of result
+deltas from the shared resident topology -- many clients watching the
+same continuous query cost the broker one topology plus N rings.
+
+Protocol (newline-delimited, UTF-8):
+
+- request: one JSON object line::
+
+      {"sql": "SELECT ...", "tenant": "alice",
+       "options": {"batch_size": 64, "max_buffer": 1024}}
+
+  ``tenant`` and ``options`` (a subset of
+  :class:`~repro.core.options.ExecutionOptions` fields) are optional.
+
+- response: SSE-style frames, each ``event: <kind>`` + ``data: <json>``
+  + blank line.  Kinds:
+
+  - ``delta`` -- ``{"sign": +1|-1, "row": [...]}``, one per result
+    change;
+  - ``end`` -- the query completed (final stats attached);
+  - ``error`` -- admission refusal, overflow shedding, or a bad
+    request; terminal.
+
+The blocking subscription pops run in the event loop's default executor
+(`run_in_executor`), so one stalled client never blocks the loop; each
+client's ring bounds its memory and the broker sheds it on overflow
+exactly as for in-process subscribers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+from typing import Optional
+
+from repro.core.options import ExecutionOptions
+from repro.serving.broker import AdmissionError, QueryBroker
+from repro.sql.catalog import SqlSession
+from repro.streaming.deltas import SubscriberOverflow
+
+
+def _frame(kind: str, payload: dict) -> bytes:
+    return (f"event: {kind}\ndata: {json.dumps(payload)}\n\n").encode()
+
+
+def parse_options(raw: Optional[dict]) -> ExecutionOptions:
+    """Build ExecutionOptions from a request's ``options`` object,
+    rejecting unknown fields (a typo'd knob must not silently noop)."""
+    if not raw:
+        return ExecutionOptions()
+    known = {field.name for field in dataclasses.fields(ExecutionOptions)}
+    unknown = set(raw) - known
+    if unknown:
+        raise ValueError(
+            f"unknown execution options {sorted(unknown)}; "
+            f"known: {sorted(known)}")
+    return ExecutionOptions(**raw)
+
+
+class DeltaServer:
+    """Serve live query deltas to TCP clients through one broker.
+
+    ``session_factory`` builds the per-connection
+    :class:`~repro.sql.catalog.SqlSession` (bound to this server's
+    broker); the default factory shares ``catalog`` across connections,
+    which is what makes cross-client topology dedupe effective.
+    """
+
+    def __init__(self, catalog, broker: Optional[QueryBroker] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 poll_timeout: float = 0.1):
+        self.catalog = catalog
+        self.broker = broker or QueryBroker()
+        self.host = host
+        self.port = port
+        self.poll_timeout = poll_timeout
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    def session(self, tenant: str = "default") -> SqlSession:
+        return SqlSession(self.catalog, broker=self.broker, tenant=tenant)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "DeltaServer":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.broker.close(wait=False)
+
+    async def __aenter__(self) -> "DeltaServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc):
+        await self.close()
+        return False
+
+    async def serve_forever(self):
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- per-connection protocol -------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter):
+        subscription = None
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                request = json.loads(line)
+                sql = request["sql"]
+                tenant = request.get("tenant", "default")
+                options = parse_options(request.get("options"))
+            except (ValueError, KeyError, TypeError) as exc:
+                writer.write(_frame("error", {
+                    "error": "bad_request", "detail": str(exc)}))
+                await writer.drain()
+                return
+            try:
+                subscription = self.session(tenant).stream(
+                    sql, options=options)
+            except AdmissionError as exc:
+                writer.write(_frame("error", {
+                    "error": "admission_refused", "detail": str(exc)}))
+                await writer.drain()
+                return
+            except Exception as exc:  # parse / plan errors
+                writer.write(_frame("error", {
+                    "error": "bad_query",
+                    "detail": f"{type(exc).__name__}: {exc}"}))
+                await writer.drain()
+                return
+            await self._push_deltas(writer, subscription)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if subscription is not None:
+                subscription.detach()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _push_deltas(self, writer: asyncio.StreamWriter, subscription):
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                # the pop blocks in a worker thread, not the event loop;
+                # the timeout keeps the coroutine cancellable
+                delta = await loop.run_in_executor(
+                    None, lambda: subscription.pop(
+                        block=True, timeout=self.poll_timeout))
+            except SubscriberOverflow as exc:
+                writer.write(_frame("error", {
+                    "error": "subscriber_overflow", "detail": str(exc)}))
+                await writer.drain()
+                return
+            if delta is not None:
+                writer.write(_frame("delta", {
+                    "sign": delta.sign, "row": list(delta.row)}))
+                await writer.drain()
+                continue
+            if subscription.closed:
+                writer.write(_frame("end", {"stats": _jsonable(
+                    subscription.stats())}))
+                await writer.drain()
+                return
+
+
+def _jsonable(value):
+    """Best-effort JSON projection of a stats dict."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

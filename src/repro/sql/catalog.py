@@ -3,6 +3,12 @@
 Ties the parser, the optimizer and the runner together, mirroring the
 paper's Figure 1 pipeline: Parser -> logical plan -> query optimizer ->
 physical plan -> Squall-to-Storm translator -> execution.
+
+A session can also be bound to a :class:`~repro.serving.broker.\
+QueryBroker` (usually via :func:`repro.connect`): :meth:`SqlSession.\
+stream` then returns a broker-managed subscription instead of a private
+:class:`~repro.streaming.StreamingQuery`, and sessions sharing a broker
+and catalog that issue the same SQL share one resident topology.
 """
 
 from __future__ import annotations
@@ -10,18 +16,32 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.optimizer import Catalog, Optimizer, OptimizerOptions
+from repro.core.options import ExecutionOptions, merge_options
 from repro.core.schema import Relation
 from repro.engine.runner import RunResult, run_plan
 from repro.sql.parser import parse_query
 
 
 class SqlSession:
-    """Run SQL over registered relations."""
+    """Run SQL over registered relations.
+
+    ``options`` configures the *optimizer* (window clauses, machine
+    budget); ``execution`` is the session's default
+    :class:`~repro.core.options.ExecutionOptions` layer -- per-call
+    ``options=`` overlays it, legacy knob kwargs fold in through the
+    shared deprecation adapter.  ``broker`` + ``tenant`` attach the
+    session to a shared serving layer (see :func:`repro.connect`).
+    """
 
     def __init__(self, catalog: Optional[Catalog] = None,
-                 options: Optional[OptimizerOptions] = None):
+                 options: Optional[OptimizerOptions] = None,
+                 execution: Optional[ExecutionOptions] = None,
+                 broker=None, tenant: str = "default"):
         self.catalog = catalog or Catalog()
         self.options = options or OptimizerOptions()
+        self.execution = execution or ExecutionOptions()
+        self.broker = broker
+        self.tenant = tenant
 
     def register(self, relation: Relation):
         self.catalog.register(relation)
@@ -48,40 +68,71 @@ class SqlSession:
                          f"parallelism={agg.parallelism}")
         return "\n".join(parts)
 
-    def execute(self, sql: str, batch_size: int = 1, executor: str = "inline",
+    def _merged(self, options: Optional[ExecutionOptions],
+                legacy: Dict[str, object]) -> ExecutionOptions:
+        """Session execution defaults under the call-level knobs."""
+        return self.execution.overlay(merge_options(options, legacy,
+                                                    stacklevel=4))
+
+    def execute(self, sql: str, batch_size: Optional[int] = None,
+                executor: Optional[str] = None,
                 parallelism: Optional[int] = None,
-                columnar: Optional[bool] = None) -> RunResult:
+                columnar: Optional[bool] = None,
+                options: Optional[ExecutionOptions] = None) -> RunResult:
         """Parse, optimize and run a query on the local cluster.
 
-        ``batch_size`` sets the micro-batch granularity and ``executor`` /
-        ``parallelism`` the execution backend ('inline', 'threads' or
-        'processes' over N shared-nothing workers); all backends return
-        the same result multiset.  ``columnar`` toggles the vectorized
-        execution path (default: on for batch_size >= 64)."""
-        return run_plan(self.plan(sql), batch_size=batch_size,
-                        executor=executor, parallelism=parallelism,
-                        columnar=columnar)
+        Execution knobs ride on ``options``
+        (:class:`~repro.core.options.ExecutionOptions`): micro-batch
+        granularity, backend ('inline', 'threads' or 'processes' over N
+        shared-nothing workers -- all return the same result multiset)
+        and the columnar toggle (default: on for batch_size >= 64).  The
+        individual kwargs remain as the deprecated spelling."""
+        merged = self._merged(options, dict(
+            batch_size=batch_size, executor=executor,
+            parallelism=parallelism, columnar=columnar))
+        return run_plan(self.plan(sql), options=merged)
 
-    def stream(self, sql: str, batch_size: int = 64,
-               executor: str = "inline", rate: Optional[float] = None,
-               columnar: bool = False):
+    def stream(self, sql: str, batch_size: Optional[int] = None,
+               executor: Optional[str] = None, rate: Optional[float] = None,
+               columnar: Optional[bool] = None,
+               options: Optional[ExecutionOptions] = None,
+               tenant: Optional[str] = None,
+               track_latency: bool = False):
         """Run a query *continuously*: the registered relations are
         replayed as rate-limited push sources and the query stays
         resident, emitting live ``(+row / -row)`` result deltas.
 
-        Returns a :class:`repro.streaming.StreamingQuery`: iterate it for
-        deltas, ``.run()`` to drive it to source exhaustion, and
-        ``.snapshot()`` for the current result multiset -- which, once
-        the sources are exhausted, equals ``execute(sql).results`` on the
-        same data.  Window semantics come from the session options
+        Unbound (no broker): returns a private
+        :class:`repro.streaming.StreamingQuery` -- iterate it for
+        deltas, ``.run()`` to drive it to source exhaustion,
+        ``.snapshot()`` for the current result multiset (which, once the
+        sources are exhausted, equals ``execute(sql).results`` on the
+        same data).
+
+        Bound to a broker: returns a
+        :class:`~repro.serving.broker.BrokerSubscription` on the shared
+        resident topology for this plan (started on first use, deduped
+        across sessions); ``max_buffer`` / ``on_overflow`` in the
+        options bound this subscriber's ring.
+
+        Window semantics come from the session options
         (``OptimizerOptions.agg_window`` / ``window``); watermarks follow
-        the window's event-time column."""
+        the window's event-time column.  Unset execution knobs resolve
+        exactly as in the batch engine (columnar on at batch_size >= 64;
+        streaming default batch size 64)."""
         from repro.streaming.runner import agg_window_ts_positions, stream_plan
 
         logical = parse_query(sql, self._schemas())
         physical = Optimizer(self.catalog, self.options).compile(logical)
         ts_positions = agg_window_ts_positions(
             self.catalog, logical.scans, self.options.agg_window)
-        return stream_plan(physical, batch_size=batch_size, executor=executor,
-                           rate=rate, ts_positions=ts_positions,
-                           columnar=columnar)
+        merged = self._merged(options, dict(
+            batch_size=batch_size, executor=executor, rate=rate,
+            columnar=columnar))
+        if self.broker is not None:
+            return self.broker.subscribe_plan(
+                physical, ts_positions=ts_positions, options=merged,
+                tenant=tenant if tenant is not None else self.tenant,
+                track_latency=track_latency)
+        return stream_plan(physical, ts_positions=ts_positions,
+                           options=merged)

@@ -20,7 +20,10 @@ Meta-commands (everything else is executed as SQL):
     \\set batch_size <n>     micro-batch granularity (>= 1)
     \\set executor <name>    inline | threads | processes
     \\set parallelism <n>    shared-nothing workers (auto = pick)
-    \\set watch_rate <n>     \\watch replay rows/sec (none = unthrottled)
+    \\set columnar <v>       vectorized path: auto | on | off
+    \\set rate <n>           \\watch replay rows/sec (none = unthrottled)
+    \\set max_buffer <n>     \\watch subscriber ring capacity (none = default)
+    \\set on_overflow <v>    slow-subscriber policy: shed | block
     \\help                   this text
     \\quit                   leave the shell
 """
@@ -29,6 +32,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.core.options import OVERFLOW_POLICIES, ExecutionOptions
 from repro.sql.catalog import SqlSession
 from repro.storm.executor import EXECUTOR_NAMES
 
@@ -46,12 +50,28 @@ class SquallShell:
         self.session = session or SqlSession()
         self.finished = False
         self.max_rows = 20
-        # execution knobs (PR 1/2) -- threaded into session.execute()
-        self.batch_size = 1
-        self.executor = "inline"
-        self.parallelism: Optional[int] = None
-        #: rows/second per replayed source for \watch (None = unthrottled)
-        self.watch_rate: Optional[float] = None
+        #: the shell's execution knobs, one ExecutionOptions layered under
+        #: every session.execute()/stream() call (\set edits it)
+        self.execution = ExecutionOptions()
+
+    # convenience views over the options object (kept for scripts that
+    # poked the old per-knob attributes)
+
+    @property
+    def batch_size(self) -> int:
+        return 1 if self.execution.batch_size is None else self.execution.batch_size
+
+    @property
+    def executor(self) -> str:
+        return self.execution.executor or "inline"
+
+    @property
+    def parallelism(self) -> Optional[int]:
+        return self.execution.parallelism
+
+    @property
+    def watch_rate(self) -> Optional[float]:
+        return self.execution.rate
 
     # -- command dispatch ---------------------------------------------------
 
@@ -108,8 +128,13 @@ class SquallShell:
 
     def _list_options(self) -> str:
         options = self.session.options
-        parallelism = "auto" if self.parallelism is None else self.parallelism
-        watch_rate = "none" if self.watch_rate is None else self.watch_rate
+        execution = self.execution
+        parallelism = "auto" if execution.parallelism is None else execution.parallelism
+        columnar = ("auto" if execution.columnar is None
+                    else ("on" if execution.columnar else "off"))
+        rate = "none" if execution.rate is None else f"{execution.rate:g}"
+        max_buffer = ("none" if execution.max_buffer is None
+                      else execution.max_buffer)
         return "\n".join([
             f"machines = {options.machines}",
             f"scheme = {options.scheme}",
@@ -118,7 +143,10 @@ class SquallShell:
             f"batch_size = {self.batch_size}",
             f"executor = {self.executor}",
             f"parallelism = {parallelism}",
-            f"watch_rate = {watch_rate}",
+            f"columnar = {columnar}",
+            f"rate = {rate}",
+            f"max_buffer = {max_buffer}",
+            f"on_overflow = {execution.on_overflow or 'shed'}",
         ])
 
     def _set_option(self, args: List[str]) -> str:
@@ -126,8 +154,8 @@ class SquallShell:
             return self._list_options()
         if len(args) != 2:
             return ("usage: \\set <machines|scheme|mode|local|batch_size"
-                    "|executor|parallelism|watch_rate> <value>  "
-                    "(\\set alone lists all)")
+                    "|executor|parallelism|columnar|rate|max_buffer"
+                    "|on_overflow> <value>  (\\set alone lists all)")
         option, value = args
         options = self.session.options
         if option == "machines":
@@ -158,16 +186,16 @@ class SquallShell:
                 return "batch_size must be an integer"
             if batch_size < 1:
                 return "batch_size must be >= 1"
-            self.batch_size = batch_size
+            self.execution = self.execution.replace(batch_size=batch_size)
             return f"batch_size = {batch_size}"
         if option == "executor":
             if value not in EXECUTOR_NAMES:
                 return "executor must be " + " | ".join(EXECUTOR_NAMES)
-            self.executor = value
+            self.execution = self.execution.replace(executor=value)
             return f"executor = {value}"
         if option == "parallelism":
             if value == "auto":
-                self.parallelism = None
+                self.execution = self.execution.replace(parallelism=None)
                 return "parallelism = auto"
             try:
                 parallelism = int(value)
@@ -175,20 +203,43 @@ class SquallShell:
                 return "parallelism must be an integer or auto"
             if parallelism < 1:
                 return "parallelism must be >= 1"
-            self.parallelism = parallelism
+            self.execution = self.execution.replace(parallelism=parallelism)
             return f"parallelism = {parallelism}"
-        if option == "watch_rate":
+        if option == "columnar":
+            if value not in ("auto", "on", "off"):
+                return "columnar must be auto | on | off"
+            self.execution = self.execution.replace(
+                columnar=None if value == "auto" else value == "on")
+            return f"columnar = {value}"
+        if option in ("rate", "watch_rate"):  # watch_rate: pre-1.1 name
             if value == "none":
-                self.watch_rate = None
-                return "watch_rate = none"
+                self.execution = self.execution.replace(rate=None)
+                return "rate = none"
             try:
                 rate = float(value)
             except ValueError:
-                return "watch_rate must be a number or none"
+                return "rate must be a number or none"
             if rate <= 0:
-                return "watch_rate must be positive"
-            self.watch_rate = rate
-            return f"watch_rate = {rate:g}"
+                return "rate must be positive"
+            self.execution = self.execution.replace(rate=rate)
+            return f"rate = {rate:g}"
+        if option == "max_buffer":
+            if value == "none":
+                self.execution = self.execution.replace(max_buffer=None)
+                return "max_buffer = none"
+            try:
+                max_buffer = int(value)
+            except ValueError:
+                return "max_buffer must be an integer or none"
+            if max_buffer < 1:
+                return "max_buffer must be >= 1"
+            self.execution = self.execution.replace(max_buffer=max_buffer)
+            return f"max_buffer = {max_buffer}"
+        if option == "on_overflow":
+            if value not in OVERFLOW_POLICIES:
+                return "on_overflow must be " + " | ".join(OVERFLOW_POLICIES)
+            self.execution = self.execution.replace(on_overflow=value)
+            return f"on_overflow = {value}"
         return f"unknown option {option!r}"
 
     def _watch_sql(self, sql: str) -> str:
@@ -198,16 +249,18 @@ class SquallShell:
         and reports the final snapshot; with a real push source it would
         keep printing deltas for as long as the query lives."""
         notes = []
-        executor = self.executor
-        if executor == "processes":
+        execution = self.execution
+        if execution.executor == "processes":
             # tell the user, don't silently ignore their \set
             notes.append("-- note: the staged 'processes' backend cannot "
                          "keep a topology resident; watching inline")
-            executor = "inline"
+            execution = execution.replace(executor="inline")
+        if execution.parallelism is not None:
+            notes.append("-- note: the streaming runtime has no parallelism "
+                         "knob; watching with per-task worker threads")
+            execution = execution.replace(parallelism=None)
         try:
-            query = self.session.stream(
-                sql, batch_size=self.batch_size, executor=executor,
-                rate=self.watch_rate)
+            query = self.session.stream(sql, options=execution)
             lines = list(notes)
             shown = 0
             for delta in query:
@@ -231,9 +284,7 @@ class SquallShell:
 
     def _run_sql(self, sql: str) -> str:
         try:
-            result = self.session.execute(
-                sql, batch_size=self.batch_size, executor=self.executor,
-                parallelism=self.parallelism)
+            result = self.session.execute(sql, options=self.execution)
         except Exception as exc:
             return f"error: {exc}"
         lines = []

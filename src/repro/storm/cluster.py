@@ -26,7 +26,8 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.columnar import COLUMNAR_MIN_BATCH, ColumnBatch
+from repro.core.columnar import ColumnBatch
+from repro.core.options import ExecutionOptions
 from repro.storm.executor import ExecutorError, Router, create_executor
 from repro.storm.metrics import TopologyMetrics
 from repro.storm.topology import Bolt, Spout, Topology, TopologyError
@@ -96,11 +97,13 @@ class LocalCluster:
         -- below that the per-batch vector overhead outweighs the win, and
         ``batch_size=1`` keeps the seed engine's byte-identical path.
         """
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        if columnar is None:
-            columnar = batch_size >= COLUMNAR_MIN_BATCH
-        self._set_columnar(bool(columnar))
+        # ExecutionOptions.resolve is the single owner of the knob
+        # defaults (incl. columnar-on-at-batch_size>=COLUMNAR_MIN_BATCH)
+        resolved = ExecutionOptions(
+            batch_size=batch_size, executor=executor,
+            parallelism=parallelism, columnar=columnar).resolve()
+        batch_size, columnar = resolved.batch_size, resolved.columnar
+        self._set_columnar(columnar)
         started = time.perf_counter()
         try:
             return self._run_inline(max_tuples, batch_size, executor,

@@ -171,6 +171,8 @@ class StreamMetrics:
         self._events: Deque[Tuple[float, int]] = deque()
         self.total_events = 0
         self.watermark: Optional[float] = None
+        #: wall-clock instant (per `clock`) of the last watermark advance
+        self.watermark_updated_at: Optional[float] = None
         self.max_event_time: Optional[float] = None
         self.started_at = clock()
 
@@ -190,6 +192,7 @@ class StreamMetrics:
         with self._lock:
             if self.watermark is None or watermark > self.watermark:
                 self.watermark = watermark
+                self.watermark_updated_at = self._clock()
 
     def _prune(self, now: float):
         horizon = now - self.horizon
@@ -208,6 +211,18 @@ class StreamMetrics:
                 return 0.0
             span = max(now - self._events[0][0], 1e-9)
             return sum(count for _ts, count in self._events) / span
+
+    def watermark_age(self) -> Optional[float]:
+        """Wall-clock seconds since the watermark last advanced.
+
+        The serving layer's staleness monitor: a growing age on a live
+        topology means window results have stopped moving forward (a
+        stalled source, or no event-time at all).  None until the first
+        watermark."""
+        with self._lock:
+            if self.watermark_updated_at is None:
+                return None
+            return max(0.0, self._clock() - self.watermark_updated_at)
 
     def event_time_lag(self) -> Optional[float]:
         """Newest event timestamp minus the watermark (event-time units).
@@ -231,3 +246,63 @@ class StreamMetrics:
             "event_time_lag": self.event_time_lag(),
             "uptime_sec": round(self._clock() - self.started_at, 3),
         }
+
+
+class ServingMetrics:
+    """Per-tenant accounting of the multi-tenant serving layer.
+
+    The :class:`~repro.serving.broker.QueryBroker` records every
+    admission decision and delivery outcome here, keyed by tenant, so an
+    operator can answer "who is being shed?" without touching per-query
+    state.  Counters are monotonic -- ``delivered`` is the number of
+    deltas that entered the tenant's subscription rings, settled when
+    each seat is released; the live gauges (subscriber count, delta lag,
+    watermark age) are read off the broker's resident topologies at
+    snapshot time, not stored here.  Thread-safe: broker calls and sink
+    detach hooks record concurrently.
+    """
+
+    _COUNTERS = ("admitted", "refused", "shed", "detached", "delivered")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, Dict[str, int]] = {}
+
+    def _bucket(self, tenant: str) -> Dict[str, int]:
+        bucket = self._tenants.get(tenant)
+        if bucket is None:
+            bucket = self._tenants[tenant] = {
+                name: 0 for name in self._COUNTERS}
+        return bucket
+
+    def record(self, tenant: str, counter: str, count: int = 1):
+        if counter not in self._COUNTERS:
+            raise ValueError(
+                f"unknown serving counter {counter!r}; "
+                f"choose one of {self._COUNTERS}")
+        with self._lock:
+            self._bucket(tenant)[counter] += count
+
+    def get(self, tenant: str, counter: str) -> int:
+        with self._lock:
+            return self._tenants.get(tenant, {}).get(counter, 0)
+
+    def tenants(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def snapshot(self, tenant: Optional[str] = None) -> Dict[str, Dict[str, int]]:
+        """Counter table ``{tenant: {counter: value}}`` (one tenant or all)."""
+        with self._lock:
+            if tenant is not None:
+                return {tenant: dict(self._tenants.get(
+                    tenant, {name: 0 for name in self._COUNTERS}))}
+            return {name: dict(bucket)
+                    for name, bucket in sorted(self._tenants.items())}
+
+    def summary(self) -> str:
+        lines = []
+        for tenant, bucket in sorted(self.snapshot().items()):
+            parts = " ".join(f"{k}={bucket[k]}" for k in self._COUNTERS)
+            lines.append(f"{tenant}: {parts}")
+        return "\n".join(lines) or "no tenants"

@@ -21,7 +21,12 @@ from repro.streaming.cluster import (
     SourcePump,
     StreamingCluster,
 )
-from repro.streaming.deltas import Delta, DeltaSink, Subscription
+from repro.streaming.deltas import (
+    Delta,
+    DeltaSink,
+    SubscriberOverflow,
+    Subscription,
+)
 from repro.streaming.runner import DeltaAggBolt, StreamingQuery, stream_plan
 from repro.streaming.sources import (
     Backpressure,
@@ -43,6 +48,7 @@ __all__ = [
     "SourcePump",
     "StreamingCluster",
     "StreamingQuery",
+    "SubscriberOverflow",
     "Subscription",
     "WatermarkTracker",
     "stream_plan",

@@ -174,10 +174,12 @@ class StreamingCluster:
         self._event_time = all(
             pump.source.has_event_time() for pump in self._pumps.values()
         )
+        self.columnar = columnar and batch_size > 1
         self._finished_sources: set = set()
         self._final_watermarks: List[float] = []
         self._broadcast_wm: Optional[float] = None
         self._done = threading.Event()
+        self._stop = threading.Event()
         self._started = False
         self._lock = threading.Lock()  # metrics + shared state (threads mode)
         self._bolt_tasks: List[Tuple[str, int, object]] = [
@@ -199,14 +201,23 @@ class StreamingCluster:
     def done(self) -> bool:
         return self._done.is_set()
 
-    def subscribe(self) -> Subscription:
-        """Subscribe to the sink's delta feed."""
+    @property
+    def sink(self) -> DeltaSink:
+        """The topology's delta sink (fan-out point of the serving layer)."""
         if not self._sinks:
             raise ValueError(
                 "topology has no DeltaSink; build it with a streaming sink "
                 "to subscribe to result deltas"
             )
-        return self._sinks[0].subscribe()
+        return self._sinks[0]
+
+    def subscribe(self, **kwargs) -> Subscription:
+        """Subscribe to the sink's delta feed.
+
+        Keyword arguments (``max_buffer``, ``on_overflow``, ``tenant``,
+        ``track_latency``, ``on_detach``) pass through to
+        :meth:`~repro.streaming.deltas.DeltaSink.subscribe`."""
+        return self.sink.subscribe(**kwargs)
 
     def snapshot(self) -> List[tuple]:
         """Current result multiset (sorted)."""
@@ -229,6 +240,7 @@ class StreamingCluster:
             self._done.wait()
             self._raise_worker_error()
             return self.metrics
+        self._started = True  # stop(wait=True) may rely on this driver
         while not self.done:
             if not self.step():
                 time.sleep(self.idle_sleep)
@@ -244,6 +256,23 @@ class StreamingCluster:
             return
         self._started = True
         self._start_threads()
+
+    def stop(self, wait: bool = True, timeout: Optional[float] = 10.0):
+        """Tear a resident query down without waiting for exhaustion.
+
+        Sets the stop flag; the driver (the inline ``run()``/``step()``
+        loop or the threads pump) notices at its next round, stops
+        polling the sources, flushes the topology -- so every
+        subscription receives its final deltas and is closed -- and sets
+        :attr:`done`.  ``wait=True`` blocks until that teardown completes
+        (requires a live driver: the broker's per-topology driver thread,
+        or a ``run()`` in progress).  Idempotent; a no-op once done."""
+        self._stop.set()
+        if self.done:
+            return
+        if wait and (self.executor == "threads" or self._started):
+            self._done.wait(timeout)
+            self._raise_worker_error()
 
     def advance(self, timeout: float = 0.05) -> bool:
         """One scheduling quantum for delta iterators: inline runs one
@@ -275,6 +304,12 @@ class StreamingCluster:
             )
         if self.done:
             return False
+        if self._stop.is_set():
+            # forced teardown: stop polling, flush so subscriptions get
+            # their final deltas and close, and declare the query done
+            self.cluster.flush_bolts()
+            self._done.set()
+            return True
         progressed = False
         cluster = self.cluster
         for name, pump in self._pumps.items():
@@ -404,6 +439,14 @@ class StreamingCluster:
             for name in live:
                 tracker.register(name)
             while live:
+                if self._stop.is_set():
+                    # forced teardown: EOS every remaining source so the
+                    # workers finish (flush + subscription close) and exit
+                    for name in list(live):
+                        tracker.mark_done(name)
+                        self._broadcast(name, (_EOS, (name, 0)))
+                    live.clear()
+                    break
                 progressed = False
                 for name in list(live):
                     pump = live[name]

@@ -13,14 +13,26 @@ engine's answer for the same data (pinned by
 insertions, rows on the ``:retract`` stream remove one stored instance
 (a retraction of a row that is not present is ignored, matching the
 batch sink's compensation semantics).
+
+Fan-out (the serving layer's delivery path): one sink serves N
+subscribers, each through its own **bounded ring buffer**.  Publishing
+never waits on a slow consumer by default -- a subscriber whose ring
+fills up is *shed*: its buffer is dropped and its next ``pop`` (or
+iteration step) raises the terminal :class:`SubscriberOverflow`, while
+the pipeline and every other subscriber continue untouched.  A
+subscriber that opts into ``on_overflow='block'`` gets lossless delivery
+via producer backpressure instead, at the documented cost of coupling
+the pipeline (and therefore its co-subscribers) to that consumer's pace.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, List, Optional
+from typing import Callable, Deque, Iterator, List, Optional
+
 
 from repro.core.columnar import ColumnBatch
 from repro.engine.runner import RETRACT_SUFFIX
@@ -38,29 +50,121 @@ class Delta:
         return f"{'+' if self.sign > 0 else '-'}{self.row}"
 
 
+class SubscriberOverflow(RuntimeError):
+    """Terminal event of a shed subscriber.
+
+    Raised by :meth:`Subscription.pop` / iteration once the subscriber's
+    bounded ring filled up under ``on_overflow='shed'``: the feed is
+    over for this subscriber (pending deltas were dropped -- a partial
+    changelog would be worse than none), but the shared topology and its
+    other subscribers are unaffected.  Re-subscribe to resume from the
+    current snapshot.
+    """
+
+
 class Subscription:
-    """An ordered, unbounded feed of one sink's deltas.
+    """An ordered feed of one sink's deltas, optionally bounded.
 
     Iterating blocks until the next delta (or end of query); ``pop`` is
     the non-blocking form the inline driver uses between pump rounds.
+
+    With ``max_buffer`` set, the feed is a bounded ring: when the
+    consumer falls ``max_buffer`` deltas behind, ``on_overflow`` decides
+    between shedding this subscriber (default; terminal
+    :class:`SubscriberOverflow`) and blocking the publisher
+    (backpressure).  ``max_buffer=None`` keeps the legacy unbounded feed.
     """
 
-    def __init__(self):
+    def __init__(self, max_buffer: Optional[int] = None,
+                 on_overflow: str = "shed", tenant: str = "default",
+                 track_latency: bool = False,
+                 on_detach: Optional[Callable[["Subscription"], None]] = None):
+        if max_buffer is not None and max_buffer < 1:
+            raise ValueError(f"max_buffer must be >= 1, got {max_buffer}")
+        if on_overflow not in ("shed", "block"):
+            raise ValueError(
+                f"on_overflow must be 'shed' or 'block', got {on_overflow!r}")
+        self.max_buffer = max_buffer
+        self.on_overflow = on_overflow
+        self.tenant = tenant
         self._deltas: Deque[Delta] = deque()
         self._cond = threading.Condition()
         self._closed = False
+        self._overflowed = False
+        self._detached = False  # on_detach fired (exactly once)
+        self._sink: Optional["DeltaSink"] = None
+        self._on_detach = on_detach
+        #: deltas that entered the ring / were popped by the consumer
+        self.published = 0
+        self.delivered = 0
+        #: publish-to-ring delivery latencies (seconds), sampled when
+        #: ``track_latency`` -- the serving benchmark's p99 source
+        self.latencies: Optional[Deque[float]] = (
+            deque(maxlen=65536) if track_latency else None)
 
     # -- sink side ---------------------------------------------------------
 
-    def _publish(self, deltas: List[Delta]):
+    def _publish(self, deltas: List[Delta],
+                 produced_at: Optional[float] = None,
+                 force: bool = False) -> bool:
+        """Append deltas to the ring; False = drop me from the sink.
+
+        Never blocks under ``on_overflow='shed'``: a full ring marks the
+        subscription overflowed, clears it and returns False, so one
+        stalled consumer costs the publisher a single flag write instead
+        of a stall.  Under ``'block'`` the publisher waits for ring space
+        (releasing it if the consumer detaches mid-wait).  ``force``
+        (the catch-up path) overrides the wait for 'block' subscribers:
+        their consumer has not received the handle yet, so waiting for a
+        pop would deadlock -- the ring overshoots once at attach and is
+        bounded thereafter."""
         with self._cond:
-            self._deltas.extend(deltas)
+            if self._closed or self._overflowed:
+                return False
+            if self.max_buffer is None or (
+                    force and self.on_overflow == "block"):
+                self._deltas.extend(deltas)
+                self.published += len(deltas)
+            elif self.on_overflow == "shed":
+                if len(self._deltas) + len(deltas) > self.max_buffer:
+                    self._overflowed = True
+                    self._deltas.clear()
+                    self._cond.notify_all()
+                    return False
+                self._deltas.extend(deltas)
+                self.published += len(deltas)
+            else:  # block: lossless, chunked into whatever space frees up
+                index = 0
+                while index < len(deltas):
+                    self._cond.wait_for(
+                        lambda: len(self._deltas) < self.max_buffer
+                        or self._closed)
+                    if self._closed:
+                        return False
+                    space = self.max_buffer - len(self._deltas)
+                    chunk = deltas[index:index + space]
+                    self._deltas.extend(chunk)
+                    self.published += len(chunk)
+                    index += space
+                    self._cond.notify_all()
+            if self.latencies is not None and produced_at is not None:
+                self.latencies.append(time.monotonic() - produced_at)
             self._cond.notify_all()
+            return True
 
     def _close(self):
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+
+    def _fire_detach(self):
+        """Run the detach hook exactly once (shed, detach or close)."""
+        with self._cond:
+            if self._detached:
+                return
+            self._detached = True
+        if self._on_detach is not None:
+            self._on_detach(self)
 
     # -- consumer side -----------------------------------------------------
 
@@ -69,15 +173,51 @@ class Subscription:
         with self._cond:
             return self._closed and not self._deltas
 
+    @property
+    def overflowed(self) -> bool:
+        with self._cond:
+            return self._overflowed
+
+    @property
+    def backlog(self) -> int:
+        """Deltas published but not yet consumed (the delta lag)."""
+        with self._cond:
+            return len(self._deltas)
+
+    def detach(self):
+        """Stop receiving: drop this subscription from its sink.
+
+        The consumer-side cancel.  Buffered deltas stay poppable; a
+        blocked publisher is released.  Idempotent."""
+        self._close()
+        sink = self._sink
+        if sink is not None:
+            sink.detach(self)
+        else:
+            self._fire_detach()
+
     def pop(self, block: bool = False,
             timeout: Optional[float] = None) -> Optional[Delta]:
-        """Next delta, or None (buffer empty / query over / timed out)."""
+        """Next delta, or None (buffer empty / query over / timed out).
+
+        Raises :class:`SubscriberOverflow` once a shed subscription's
+        ring is found terminal."""
         with self._cond:
             if block:
                 self._cond.wait_for(
-                    lambda: self._deltas or self._closed, timeout=timeout)
+                    lambda: self._deltas or self._closed or self._overflowed,
+                    timeout=timeout)
             if self._deltas:
-                return self._deltas.popleft()
+                delta = self._deltas.popleft()
+                self.delivered += 1
+                if self.max_buffer is not None:
+                    self._cond.notify_all()  # wake a blocked publisher
+                return delta
+            if self._overflowed:
+                raise SubscriberOverflow(
+                    f"subscriber shed: fell more than {self.max_buffer} "
+                    f"deltas behind the pipeline (on_overflow='shed'); "
+                    f"re-subscribe to resume from the current snapshot")
             return None
 
     def __iter__(self) -> Iterator[Delta]:
@@ -95,6 +235,11 @@ class DeltaSink(Bolt):
     Thread-safe (the threads executor runs it inside a worker while
     consumers read snapshots); drop-in replacement for the batch
     :class:`~repro.engine.runner.SinkBolt` in a streaming topology.
+
+    The sink is the fan-out point of the serving layer: every delta
+    batch is published to each attached :class:`Subscription`'s own
+    ring, and subscriptions that report themselves dead (shed, closed,
+    detached) are dropped from the fan-out list on the spot.
     """
 
     def __init__(self):
@@ -102,6 +247,8 @@ class DeltaSink(Bolt):
         self._lock = threading.Lock()
         self._subscriptions: List[Subscription] = []
         self.delta_count = 0
+        #: subscribers dropped because their ring overflowed
+        self.shed_count = 0
         self.completed = False
 
     # -- dataplane side ----------------------------------------------------
@@ -132,25 +279,58 @@ class DeltaSink(Bolt):
                     deltas.append(Delta(1, row))
             self.delta_count += len(deltas)
             subscriptions = list(self._subscriptions)
-        for subscription in subscriptions:
-            subscription._publish(deltas)
+        if subscriptions and deltas:
+            self._fan_out(subscriptions, deltas)
         return []
+
+    def _fan_out(self, subscriptions: List[Subscription],
+                 deltas: List[Delta]):
+        """Publish one delta batch to every subscriber ring."""
+        produced_at = time.monotonic()
+        dead: List[Subscription] = []
+        for subscription in subscriptions:
+            if not subscription._publish(deltas, produced_at):
+                dead.append(subscription)
+        if dead:
+            with self._lock:
+                for subscription in dead:
+                    if subscription in self._subscriptions:
+                        self._subscriptions.remove(subscription)
+                    if subscription.overflowed:
+                        self.shed_count += 1
+            for subscription in dead:
+                subscription._fire_detach()
 
     def finish(self):
         """End of query: close every subscription."""
         with self._lock:
             self.completed = True
             subscriptions = list(self._subscriptions)
+            self._subscriptions.clear()
         for subscription in subscriptions:
             subscription._close()
+            subscription._fire_detach()
         return []
 
     # -- consumer side -----------------------------------------------------
 
-    def subscribe(self) -> Subscription:
+    def subscribe(self, max_buffer: Optional[int] = None,
+                  on_overflow: str = "shed", tenant: str = "default",
+                  track_latency: bool = False,
+                  on_detach: Optional[Callable[[Subscription], None]] = None,
+                  ) -> Subscription:
         """New subscription; starts with the current state as +deltas, so
-        a late subscriber's replayed view converges to the same snapshot."""
-        subscription = Subscription()
+        a late subscriber's replayed view converges to the same snapshot.
+
+        ``max_buffer`` / ``on_overflow`` bound the subscriber's ring
+        (see :class:`Subscription`); the defaults keep the legacy
+        unbounded feed.  ``on_detach`` fires exactly once when the
+        subscription leaves the sink -- shed, detached or closed -- the
+        broker's refcounting hook."""
+        subscription = Subscription(
+            max_buffer=max_buffer, on_overflow=on_overflow, tenant=tenant,
+            track_latency=track_latency, on_detach=on_detach)
+        subscription._sink = self
         with self._lock:
             catch_up = [
                 Delta(1, row)
@@ -160,10 +340,35 @@ class DeltaSink(Bolt):
             self._subscriptions.append(subscription)
             completed = self.completed
         if catch_up:
-            subscription._publish(catch_up)
+            if not subscription._publish(catch_up, time.monotonic(),
+                                         force=True):
+                # the catch-up alone overflowed the ring: shed immediately
+                with self._lock:
+                    if subscription in self._subscriptions:
+                        self._subscriptions.remove(subscription)
+                    if subscription.overflowed:
+                        self.shed_count += 1
+                subscription._fire_detach()
+                return subscription
         if completed:
             subscription._close()
+            with self._lock:
+                if subscription in self._subscriptions:
+                    self._subscriptions.remove(subscription)
+            subscription._fire_detach()
         return subscription
+
+    def detach(self, subscription: Subscription):
+        """Drop one subscription from the fan-out (consumer cancelled)."""
+        with self._lock:
+            if subscription in self._subscriptions:
+                self._subscriptions.remove(subscription)
+        subscription._fire_detach()
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscriptions)
 
     def snapshot(self) -> List[tuple]:
         """The current result multiset, sorted (comparable across

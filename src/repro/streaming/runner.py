@@ -25,9 +25,11 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.core.options import ExecutionOptions, merge_options
 from repro.engine.component import PhysicalPlan, SourceComponent
 from repro.engine.operators import Projection, Selection
 from repro.engine.runner import RETRACT_SUFFIX, AggBolt, build_topology
+from repro.storm.executor import ExecutorError
 from repro.storm.topology import Spout
 from repro.streaming.cluster import StreamingCluster
 from repro.streaming.deltas import Delta, DeltaSink, Subscription
@@ -174,14 +176,27 @@ def agg_window_ts_positions(catalog, scans, clause) -> Dict[str, int]:
     return {alias: schemas[alias].index_of(attr)}
 
 
-def stream_plan(plan: PhysicalPlan, batch_size: int = 64,
-                executor: str = "inline", rate: Optional[float] = None,
+def stream_plan(plan: PhysicalPlan, batch_size: Optional[int] = None,
+                executor: Optional[str] = None,
+                rate: Optional[float] = None,
                 queue_capacity: int = 128,
                 sources: Optional[Dict[str, PushSource]] = None,
                 ts_positions: Optional[Dict[str, int]] = None,
                 clock: Callable[[], float] = time.monotonic,
-                columnar: bool = False) -> "StreamingQuery":
+                columnar: Optional[bool] = None,
+                options: Optional[ExecutionOptions] = None
+                ) -> "StreamingQuery":
     """Compile a physical plan into a continuously running query.
+
+    Execution knobs ride on ``options``
+    (:class:`~repro.core.options.ExecutionOptions`); the individual
+    kwargs remain as the deprecated spelling, folded in through the
+    shared adapter.  Unset knobs resolve exactly as in the batch engine
+    -- in particular ``columnar=None`` turns the columnar path on at
+    ``batch_size >= 64`` (streaming used to require an explicit opt-in
+    while ``run_plan`` defaulted it on; both now go through
+    ``ExecutionOptions.resolve``).  The streaming default batch size is
+    64.
 
     By default every source relation is replayed through a
     :class:`ReplaySource` at ``rate`` rows per second (None = as fast as
@@ -190,8 +205,7 @@ def stream_plan(plan: PhysicalPlan, batch_size: int = 64,
     source name -> raw column position).  Pass ``sources`` to substitute
     real push sources for some or all relations.
 
-    ``columnar=True`` (opt-in, unlike the batch engine's size-based
-    default) makes the source pumps coalesce each poll into a
+    With ``columnar`` on, the source pumps coalesce each poll into a
     :class:`~repro.core.columnar.ColumnBatch`, so joins and aggregations
     take their vectorized paths; the delta feed and snapshots are
     unchanged.
@@ -200,6 +214,16 @@ def stream_plan(plan: PhysicalPlan, batch_size: int = 64,
     :meth:`~StreamingQuery.run` to drive it to exhaustion, and
     :meth:`~StreamingQuery.snapshot` for the current result multiset.
     """
+    resolved = merge_options(options, dict(
+        batch_size=batch_size, executor=executor, rate=rate,
+        columnar=columnar)).resolve(default_batch_size=64)
+    if resolved.parallelism is not None:
+        raise ExecutorError(
+            "the streaming runtime has no parallelism knob: "
+            "executor='threads' runs every task in its own worker thread "
+            "(drop parallelism=, or use the finite engine for the staged "
+            "backends)"
+        )
     topology, partitioners = build_topology(
         plan,
         spout_factory=lambda source: (lambda i, p: _IdleSpout()),
@@ -217,18 +241,18 @@ def stream_plan(plan: PhysicalPlan, batch_size: int = 64,
         if source.name not in pumps:
             pumps[source.name] = ReplaySource(
                 source.relation.rows, stream=source.name,
-                ts_position=positions.get(source.name), rate=rate,
+                ts_position=positions.get(source.name), rate=resolved.rate,
                 clock=clock,
             )
     cluster = StreamingCluster(
-        topology, pumps, batch_size=batch_size, executor=executor,
-        queue_capacity=queue_capacity, source_operators=operators,
-        clock=clock, columnar=columnar,
+        topology, pumps, batch_size=resolved.batch_size,
+        executor=resolved.executor, queue_capacity=queue_capacity,
+        source_operators=operators, clock=clock, columnar=resolved.columnar,
     )
     return StreamingQuery(cluster, partitioner_info={
         name: partitioner.describe()
         for name, partitioner in partitioners.items()
-    })
+    }, options=resolved)
 
 
 class StreamingQuery:
@@ -243,9 +267,12 @@ class StreamingQuery:
     """
 
     def __init__(self, cluster: StreamingCluster,
-                 partitioner_info: Optional[Dict[str, str]] = None):
+                 partitioner_info: Optional[Dict[str, str]] = None,
+                 options: Optional[ExecutionOptions] = None):
         self.cluster = cluster
         self.partitioner_info = partitioner_info or {}
+        #: the resolved execution options this query runs under
+        self.options = options
         self._subscription: Optional[Subscription] = None
 
     @property
@@ -291,6 +318,10 @@ class StreamingQuery:
         """Drive the query until the sources are exhausted."""
         self.cluster.run()
         return self
+
+    def stop(self, wait: bool = True):
+        """Tear the resident query down (see StreamingCluster.stop)."""
+        self.cluster.stop(wait=wait)
 
     def snapshot(self) -> List[tuple]:
         """Current result multiset (sorted); after :meth:`run`, equals

@@ -131,16 +131,36 @@ class TestSetOption:
         for line in ("machines = 2", "scheme = auto", "mode = multiway",
                      "local = dbtoaster", "batch_size = 64",
                      "executor = inline", "parallelism = auto",
-                     "watch_rate = none"):
+                     "columnar = auto", "rate = none", "max_buffer = none",
+                     "on_overflow = shed"):
             assert line in output
 
-    def test_set_watch_rate(self, shell):
-        assert shell.handle_line("\\set watch_rate 500") == "watch_rate = 500"
+    def test_set_rate(self, shell):
+        assert shell.handle_line("\\set rate 500") == "rate = 500"
         assert shell.watch_rate == 500.0
-        assert shell.handle_line("\\set watch_rate none") == "watch_rate = none"
+        assert shell.handle_line("\\set rate none") == "rate = none"
         assert shell.watch_rate is None
-        assert "positive" in shell.handle_line("\\set watch_rate -3")
-        assert "number" in shell.handle_line("\\set watch_rate fast")
+        assert "positive" in shell.handle_line("\\set rate -3")
+        assert "number" in shell.handle_line("\\set rate fast")
+
+    def test_set_watch_rate_alias_still_accepted(self, shell):
+        assert shell.handle_line("\\set watch_rate 500") == "rate = 500"
+        assert shell.execution.rate == 500.0
+
+    def test_set_columnar(self, shell):
+        assert shell.handle_line("\\set columnar on") == "columnar = on"
+        assert shell.execution.columnar is True
+        assert shell.handle_line("\\set columnar auto") == "columnar = auto"
+        assert shell.execution.columnar is None
+        assert "must be" in shell.handle_line("\\set columnar sideways")
+
+    def test_set_subscriber_knobs(self, shell):
+        assert shell.handle_line("\\set max_buffer 256") == "max_buffer = 256"
+        assert shell.execution.max_buffer == 256
+        assert ">= 1" in shell.handle_line("\\set max_buffer 0")
+        assert shell.handle_line("\\set on_overflow block") == "on_overflow = block"
+        assert shell.execution.on_overflow == "block"
+        assert "must be" in shell.handle_line("\\set on_overflow panic")
 
     def test_execution_knobs_reach_the_engine(self, shell, monkeypatch):
         """The \\set knobs must actually be passed to session.execute."""
@@ -159,9 +179,10 @@ class TestSetOption:
             "SELECT COUNT(*) FROM customer, orders "
             "WHERE customer.custkey = orders.custkey")
         assert "rows" in output
-        assert captured == {
-            "batch_size": 128, "executor": "threads", "parallelism": 2,
-        }
+        options = captured["options"]
+        assert options.batch_size == 128
+        assert options.executor == "threads"
+        assert options.parallelism == 2
 
 
 class TestSqlExecution:

@@ -1,0 +1,427 @@
+"""The multi-tenant serving layer.
+
+Pins the tentpole guarantees:
+
+- two sessions issuing the same SQL share ONE resident topology
+  (fingerprint dedupe), asserted via topology count and the shared
+  topology's event counters;
+- a stalled subscriber is shed with a terminal SubscriberOverflow and
+  never stalls the pipeline or its co-subscribers;
+- teardown is refcounted: the last detach removes the topology from the
+  registry and stops its driver;
+- admission control refuses over-limit subscribes up front;
+- per-tenant ServingMetrics accounting;
+- the asyncio DeltaServer front-end speaks its SSE-style protocol.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+import repro
+from repro.core.optimizer import Catalog
+from repro.core.options import ExecutionOptions
+from repro.core.schema import Relation, Schema
+from repro.serving import (
+    AdmissionError,
+    BrokerSubscription,
+    DeltaServer,
+    QueryBroker,
+    plan_fingerprint,
+)
+from repro.sql.catalog import SqlSession
+from repro.streaming import CallbackSource, SubscriberOverflow
+
+SQL = "SELECT k, COUNT(*) FROM t GROUP BY k"
+
+
+def wait_until(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.register(Relation(
+        "t", Schema.of("k", "v"), [(i % 4, i) for i in range(200)]))
+    return catalog
+
+
+@pytest.fixture
+def broker():
+    broker = QueryBroker()
+    yield broker
+    broker.close(wait=True, timeout=5.0)
+
+
+def push_subscription(broker, catalog, **kwargs):
+    """Subscribe against a never-ending push source (resident until
+    detached); returns (subscription, source)."""
+    session = SqlSession(catalog)
+    source = CallbackSource(capacity=4096)
+    subscription = broker.subscribe_plan(
+        session.plan(SQL), sources={"t": source}, **kwargs)
+    return subscription, source
+
+
+class TestFingerprint:
+    def test_same_plan_same_fingerprint(self, catalog):
+        session = SqlSession(catalog)
+        assert plan_fingerprint(session.plan(SQL)) == plan_fingerprint(
+            session.plan(SQL))
+
+    def test_different_sql_differs(self, catalog):
+        session = SqlSession(catalog)
+        other = "SELECT k, COUNT(*) FROM t WHERE v > 50 GROUP BY k"
+        assert plan_fingerprint(session.plan(SQL)) != plan_fingerprint(
+            session.plan(other))
+
+    def test_pipeline_knobs_differ(self, catalog):
+        plan = SqlSession(catalog).plan(SQL)
+        a = plan_fingerprint(plan, None, ExecutionOptions(
+            batch_size=64).resolve())
+        b = plan_fingerprint(plan, None, ExecutionOptions(
+            batch_size=128).resolve())
+        assert a != b
+
+    def test_subscriber_knobs_do_not_differ(self, catalog):
+        plan = SqlSession(catalog).plan(SQL)
+        a = plan_fingerprint(plan, None, ExecutionOptions(
+            max_buffer=8, on_overflow="shed").resolve(64))
+        b = plan_fingerprint(plan, None, ExecutionOptions(
+            max_buffer=4096, on_overflow="block").resolve(64))
+        assert a == b
+
+    def test_relation_identity_not_value(self, catalog):
+        other = Catalog()
+        other.register(Relation(
+            "t", Schema.of("k", "v"), [(i % 4, i) for i in range(200)]))
+        a = plan_fingerprint(SqlSession(catalog).plan(SQL))
+        b = plan_fingerprint(SqlSession(other).plan(SQL))
+        assert a != b  # equal data, different objects: never wrongly dedupe
+
+
+class TestTopologySharing:
+    def test_two_sessions_share_one_resident_topology(self, catalog, broker):
+        # slow replay keeps the topology resident across both subscribes
+        options = ExecutionOptions(rate=100.0)
+        s1 = SqlSession(catalog, broker=broker, tenant="alice")
+        s2 = SqlSession(catalog, broker=broker, tenant="bob")
+        sub1 = s1.stream(SQL, options=options)
+        sub2 = s2.stream(SQL, options=options)
+        assert broker.topology_count == 1
+        assert sub1.fingerprint == sub2.fingerprint
+        assert sub1.resident is sub2.resident
+        info = broker.topologies()[0]
+        assert info["subscribers"] == 2
+        assert sorted(info["tenants"]) == ["alice", "bob"]
+        deltas1 = sum(1 for _ in sub1)
+        deltas2 = sum(1 for _ in sub2)
+        assert deltas1 == deltas2 > 0
+        # the 200 source rows were processed once, not once per session
+        assert sub1.resident.query.cluster.stats.total_events == 200
+
+    def test_both_subscribers_converge_to_batch_snapshot(self, catalog,
+                                                         broker):
+        session = SqlSession(catalog, broker=broker)
+        sub1 = session.stream(SQL, options=ExecutionOptions(rate=100.0))
+        sub2 = session.stream(SQL, options=ExecutionOptions(rate=100.0))
+        for _ in sub1:
+            pass
+        for _ in sub2:
+            pass
+        expected = sorted(session.execute(SQL).results)
+        assert sub1.snapshot() == expected
+        assert sub2.snapshot() == expected
+
+    def test_different_pipeline_options_get_separate_topologies(
+            self, catalog, broker):
+        session = SqlSession(catalog, broker=broker)
+        sub1 = session.stream(SQL, options=ExecutionOptions(
+            rate=100.0, batch_size=32))
+        sub2 = session.stream(SQL, options=ExecutionOptions(
+            rate=100.0, batch_size=64))
+        assert broker.topology_count == 2
+        assert sub1.fingerprint != sub2.fingerprint
+        sub1.detach()
+        sub2.detach()
+
+    def test_subscription_is_context_manager(self, catalog, broker):
+        session = SqlSession(catalog, broker=broker)
+        with session.stream(SQL, options=ExecutionOptions(rate=100.0)) as sub:
+            assert isinstance(sub, BrokerSubscription)
+            assert broker.topology_count == 1
+        assert wait_until(lambda: broker.topology_count == 0)
+
+
+class TestSlowSubscriber:
+    def test_stalled_subscriber_shed_fast_one_unaffected(self, catalog,
+                                                         broker):
+        fast, source = push_subscription(broker, catalog, tenant="fast")
+        stalled = broker.subscribe_plan(
+            SqlSession(catalog).plan(SQL), sources={"t": source},
+            tenant="slow",
+            options=ExecutionOptions(max_buffer=8, on_overflow="shed"))
+        assert broker.topology_count == 1  # same topology despite knobs
+        resident = fast.resident
+        for i in range(200):
+            source.push((i % 4, i), stream="t")
+        # the fast subscriber drains everything the stalled one cannot
+        popped = 0
+        deadline = time.monotonic() + 5.0
+        while popped < 200 and time.monotonic() < deadline:
+            if fast.pop(block=True, timeout=0.2) is not None:
+                popped += 1
+        assert popped == 200
+        assert wait_until(lambda: stalled.overflowed)
+        with pytest.raises(SubscriberOverflow):
+            stalled.pop()  # shed ring is terminal
+        # pipeline kept running: topology resident, fast seat intact
+        assert broker.topology_count == 1
+        assert resident.subscribers == 1
+        assert broker.metrics.get("slow", "shed") == 1
+        assert broker.metrics.get("fast", "shed") == 0
+        fast.detach()
+        assert wait_until(lambda: broker.topology_count == 0)
+
+    def test_shed_releases_the_seat(self, catalog, broker):
+        only, source = push_subscription(
+            broker, catalog, tenant="only",
+            options=ExecutionOptions(max_buffer=4, on_overflow="shed"))
+        for i in range(100):
+            source.push((i % 4, i), stream="t")
+        # the sole subscriber overflows; its shed must tear the topology
+        # down exactly like an explicit detach would
+        assert wait_until(lambda: broker.topology_count == 0)
+        assert only.overflowed
+
+
+class TestRefcountTeardown:
+    def test_last_detach_stops_the_topology(self, catalog, broker):
+        sub1, source = push_subscription(broker, catalog)
+        sub2 = broker.subscribe_plan(
+            SqlSession(catalog).plan(SQL), sources={"t": source})
+        resident = sub1.resident
+        assert broker.topology_count == 1
+        assert resident.subscribers == 2
+        sub1.detach()
+        assert broker.topology_count == 1  # still one seat left
+        assert resident.subscribers == 1
+        sub2.detach()
+        assert wait_until(lambda: broker.topology_count == 0)
+        assert wait_until(lambda: resident.query.done)
+
+    def test_detach_is_idempotent(self, catalog, broker):
+        sub, _source = push_subscription(broker, catalog)
+        sub.detach()
+        sub.detach()
+        assert wait_until(lambda: broker.topology_count == 0)
+        assert broker.metrics.get("default", "detached") == 1
+
+    def test_natural_exhaustion_tears_down(self, catalog, broker):
+        session = SqlSession(catalog, broker=broker)
+        sub = session.stream(SQL)  # unthrottled finite replay
+        for _ in sub:
+            pass
+        assert wait_until(lambda: broker.topology_count == 0)
+        assert sub.snapshot() == sorted(session.execute(SQL).results)
+
+
+class TestAdmission:
+    def test_max_topologies(self, catalog):
+        broker = QueryBroker(max_topologies=1)
+        sub, _source = push_subscription(broker, catalog)
+        session = SqlSession(catalog, broker=broker)
+        with pytest.raises(AdmissionError, match="registry full"):
+            session.stream("SELECT k, COUNT(*) FROM t "
+                           "WHERE v > 50 GROUP BY k")
+        assert broker.metrics.get("default", "refused") == 1
+        sub.detach()
+        broker.close()
+
+    def test_max_subscribers_per_topology(self, catalog):
+        broker = QueryBroker(max_subscribers_per_topology=1)
+        sub, source = push_subscription(broker, catalog)
+        with pytest.raises(AdmissionError, match="subscriber cap"):
+            broker.subscribe_plan(
+                SqlSession(catalog).plan(SQL), sources={"t": source})
+        sub.detach()
+        broker.close()
+
+    def test_max_subscribers_per_tenant(self, catalog):
+        broker = QueryBroker(max_subscribers_per_tenant=1)
+        sub, source = push_subscription(broker, catalog, tenant="alice")
+        with pytest.raises(AdmissionError, match="quota"):
+            broker.subscribe_plan(
+                SqlSession(catalog).plan(SQL), sources={"t": source},
+                tenant="alice")
+        # a different tenant still fits on the same topology
+        other = broker.subscribe_plan(
+            SqlSession(catalog).plan(SQL), sources={"t": source},
+            tenant="bob")
+        assert broker.metrics.get("alice", "refused") == 1
+        assert broker.metrics.get("bob", "admitted") == 1
+        sub.detach()
+        other.detach()
+        broker.close()
+
+
+class TestMetricsAndStats:
+    def test_per_tenant_counters(self, catalog, broker):
+        session = SqlSession(catalog, broker=broker, tenant="alice")
+        sub = session.stream(SQL)
+        count = sum(1 for _ in sub)
+        assert wait_until(lambda: broker.metrics.get("alice", "detached") == 1)
+        assert broker.metrics.get("alice", "admitted") == 1
+        assert broker.metrics.get("alice", "delivered") == count > 0
+        snapshot = broker.metrics.snapshot()
+        assert snapshot["alice"]["admitted"] == 1
+        assert "alice" in broker.metrics.summary()
+
+    def test_subscription_stats(self, catalog, broker):
+        sub, source = push_subscription(broker, catalog, tenant="alice")
+        for i in range(8):
+            source.push((i % 4, i), stream="t")
+        assert wait_until(lambda: sub.subscription.published >= 8)
+        stats = sub.stats()
+        assert stats["tenant"] == "alice"
+        assert stats["fingerprint"] == sub.fingerprint
+        assert stats["subscribers"] == 1
+        assert stats["published"] >= 8
+        assert stats["events"] >= 8
+        sub.detach()
+
+    def test_broker_stats_shape(self, catalog, broker):
+        sub, _source = push_subscription(broker, catalog)
+        stats = broker.stats()
+        assert len(stats["topologies"]) == 1
+        assert stats["topologies"][0]["subscribers"] == 1
+        assert "default" in stats["tenants"]
+        sub.detach()
+
+    def test_watermark_age_tracks_staleness(self):
+        from repro.storm.metrics import StreamMetrics
+
+        now = [100.0]
+        metrics = StreamMetrics(clock=lambda: now[0])
+        assert metrics.watermark_age() is None
+        metrics.record_watermark(5.0)
+        now[0] = 103.0
+        assert metrics.watermark_age() == pytest.approx(3.0)
+        metrics.record_watermark(6.0)
+        assert metrics.watermark_age() == pytest.approx(0.0)
+
+
+class TestConnectFrontDoor:
+    def test_connect_returns_bound_session(self, catalog, broker):
+        session = repro.connect(catalog, broker=broker, tenant="carol")
+        assert session.broker is broker
+        assert session.tenant == "carol"
+        sub = session.stream(SQL, options=ExecutionOptions(rate=100.0))
+        assert isinstance(sub, BrokerSubscription)
+        assert sub.tenant == "carol"
+        sub.detach()
+
+    def test_connect_without_broker_runs_private_queries(self, catalog):
+        session = repro.connect(catalog)
+        query = session.stream(SQL)
+        query.run()
+        assert query.snapshot() == sorted(session.execute(SQL).results)
+
+    def test_public_exports(self):
+        assert repro.ExecutionOptions is ExecutionOptions
+        assert repro.SubscriberOverflow is SubscriberOverflow
+        assert repro.QueryBroker is QueryBroker
+        for name in ("connect", "ExecutionOptions", "Subscription",
+                     "SubscriberOverflow", "QueryBroker", "DeltaServer"):
+            assert name in repro.__all__
+
+
+class TestDeltaServer:
+    def test_serves_deltas_then_end(self, catalog):
+        async def scenario():
+            async with DeltaServer(catalog) as server:
+                return await client_exchange(server, {"sql": SQL})
+
+        frames = asyncio.run(scenario())
+        kinds = [kind for kind, _payload in frames]
+        assert kinds[-1] == "end"
+        deltas = [payload for kind, payload in frames if kind == "delta"]
+        assert deltas
+        assert {d["sign"] for d in deltas} <= {1, -1}
+        # the positive-minus-negative rollup is the batch answer
+        session = SqlSession(catalog)
+        expected = sorted(session.execute(SQL).results)
+        state = {}
+        for d in deltas:
+            key = tuple(d["row"])
+            state[key] = state.get(key, 0) + d["sign"]
+        assert sorted(k for k, n in state.items() for _ in range(n)) == expected
+
+    def test_bad_request_and_bad_query(self, catalog):
+        async def scenario():
+            async with DeltaServer(catalog) as server:
+                bad_json = await client_exchange(server, "not json",
+                                                 raw="nonsense\n")
+                bad_sql = await client_exchange(
+                    server, {"sql": "SELECT FROM"})
+                bad_option = await client_exchange(
+                    server, {"sql": SQL, "options": {"turbo": True}})
+                return bad_json, bad_sql, bad_option
+
+        bad_json, bad_sql, bad_option = asyncio.run(scenario())
+        assert bad_json[0][1]["error"] == "bad_request"
+        assert bad_sql[0][1]["error"] == "bad_query"
+        assert bad_option[0][1]["error"] == "bad_request"
+        assert "turbo" in bad_option[0][1]["detail"]
+
+    def test_concurrent_clients_share_topology(self, catalog):
+        async def scenario():
+            async with DeltaServer(catalog) as server:
+                request = {"sql": SQL, "options": {"rate": 100.0}}
+                results = await asyncio.gather(
+                    client_exchange(server, request),
+                    client_exchange(server, request),
+                )
+                admitted = server.broker.metrics.get("default", "admitted")
+                return results, admitted
+
+        (frames1, frames2), admitted = asyncio.run(scenario())
+        assert frames1[-1][0] == "end"
+        assert frames2[-1][0] == "end"
+        assert admitted == 2
+        # both clients were served; dedupe meant at most one topology ran
+        # per distinct plan (both requests are identical)
+        stats1 = frames1[-1][1]["stats"]
+        stats2 = frames2[-1][1]["stats"]
+        assert stats1["fingerprint"] == stats2["fingerprint"]
+
+
+async def client_exchange(server, request, raw=None):
+    """Send one request line, collect frames until end/error."""
+    reader, writer = await asyncio.open_connection(server.host, server.port)
+    writer.write(raw.encode() if raw is not None
+                 else (json.dumps(request) + "\n").encode())
+    await writer.drain()
+    frames = []
+    while True:
+        event_line = await reader.readline()
+        if not event_line:
+            break
+        data_line = await reader.readline()
+        await reader.readline()  # blank separator
+        kind = event_line.decode().strip().split(": ", 1)[1]
+        payload = json.loads(data_line.decode().strip().split(": ", 1)[1])
+        frames.append((kind, payload))
+        if kind in ("end", "error"):
+            break
+    writer.close()
+    await writer.wait_closed()
+    return frames
