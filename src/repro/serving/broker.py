@@ -334,11 +334,11 @@ class QueryBroker:
                     self.metrics.record(tenant, "shed")
                 else:
                     self.metrics.record(tenant, "detached")
-                # "delivered" counts deltas that entered the tenant's
+                # "published" counts deltas that entered the tenant's
                 # rings: stable whether or not the consumer has drained
                 # its buffered tail yet (rings stay poppable after close)
                 self.metrics.record(
-                    tenant, "delivered", subscription.published)
+                    tenant, "published", subscription.published)
                 if (resident.subscribers <= 0
                         and self._registry.get(
                             resident.fingerprint) is resident):

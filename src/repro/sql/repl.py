@@ -54,24 +54,40 @@ class SquallShell:
         #: every session.execute()/stream() call (\set edits it)
         self.execution = ExecutionOptions()
 
-    # convenience views over the options object (kept for scripts that
-    # poked the old per-knob attributes)
+    # convenience views over the options object (kept read/write for
+    # scripts that poked the old per-knob attributes)
 
     @property
     def batch_size(self) -> int:
         return 1 if self.execution.batch_size is None else self.execution.batch_size
 
+    @batch_size.setter
+    def batch_size(self, value: int):
+        self.execution = self.execution.replace(batch_size=value)
+
     @property
     def executor(self) -> str:
         return self.execution.executor or "inline"
+
+    @executor.setter
+    def executor(self, value: str):
+        self.execution = self.execution.replace(executor=value)
 
     @property
     def parallelism(self) -> Optional[int]:
         return self.execution.parallelism
 
+    @parallelism.setter
+    def parallelism(self, value: Optional[int]):
+        self.execution = self.execution.replace(parallelism=value)
+
     @property
     def watch_rate(self) -> Optional[float]:
         return self.execution.rate
+
+    @watch_rate.setter
+    def watch_rate(self, value: Optional[float]):
+        self.execution = self.execution.replace(rate=value)
 
     # -- command dispatch ---------------------------------------------------
 

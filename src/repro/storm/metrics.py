@@ -254,15 +254,16 @@ class ServingMetrics:
     The :class:`~repro.serving.broker.QueryBroker` records every
     admission decision and delivery outcome here, keyed by tenant, so an
     operator can answer "who is being shed?" without touching per-query
-    state.  Counters are monotonic -- ``delivered`` is the number of
-    deltas that entered the tenant's subscription rings, settled when
-    each seat is released; the live gauges (subscriber count, delta lag,
-    watermark age) are read off the broker's resident topologies at
-    snapshot time, not stored here.  Thread-safe: broker calls and sink
-    detach hooks record concurrently.
+    state.  Counters are monotonic -- ``published`` is the number of
+    deltas that entered the tenant's subscription rings (a shed
+    subscriber's dropped buffer is still counted: the pipeline did the
+    work), settled when each seat is released; the live gauges
+    (subscriber count, delta lag, watermark age) are read off the
+    broker's resident topologies at snapshot time, not stored here.
+    Thread-safe: broker calls and sink detach hooks record concurrently.
     """
 
-    _COUNTERS = ("admitted", "refused", "shed", "detached", "delivered")
+    _COUNTERS = ("admitted", "refused", "shed", "detached", "published")
 
     def __init__(self):
         self._lock = threading.Lock()

@@ -114,15 +114,16 @@ class Subscription:
         stalled consumer costs the publisher a single flag write instead
         of a stall.  Under ``'block'`` the publisher waits for ring space
         (releasing it if the consumer detaches mid-wait).  ``force``
-        (the catch-up path) overrides the wait for 'block' subscribers:
-        their consumer has not received the handle yet, so waiting for a
-        pop would deadlock -- the ring overshoots once at attach and is
-        bounded thereafter."""
+        (the catch-up path) bypasses the ring bound for both policies:
+        the consumer has not received the handle yet, so a 'block' wait
+        would deadlock and a 'shed' check would permanently lock out any
+        subscriber whose catch-up snapshot alone exceeds ``max_buffer``
+        -- the ring overshoots once at attach and is bounded
+        thereafter."""
         with self._cond:
             if self._closed or self._overflowed:
                 return False
-            if self.max_buffer is None or (
-                    force and self.on_overflow == "block"):
+            if self.max_buffer is None or force:
                 self._deltas.extend(deltas)
                 self.published += len(deltas)
             elif self.on_overflow == "shed":
@@ -324,7 +325,10 @@ class DeltaSink(Bolt):
 
         ``max_buffer`` / ``on_overflow`` bound the subscriber's ring
         (see :class:`Subscription`); the defaults keep the legacy
-        unbounded feed.  ``on_detach`` fires exactly once when the
+        unbounded feed.  The catch-up is delivered in full even when it
+        exceeds ``max_buffer`` (one bounded overshoot at attach) --
+        otherwise a shed subscriber could never re-attach to a large
+        resident result.  ``on_detach`` fires exactly once when the
         subscription leaves the sink -- shed, detached or closed -- the
         broker's refcounting hook."""
         subscription = Subscription(
@@ -337,24 +341,20 @@ class DeltaSink(Bolt):
                 for row, count in sorted(self._counts.items(), key=repr)
                 for _ in range(count)
             ]
-            self._subscriptions.append(subscription)
             completed = self.completed
-        if catch_up:
-            if not subscription._publish(catch_up, time.monotonic(),
-                                         force=True):
-                # the catch-up alone overflowed the ring: shed immediately
-                with self._lock:
-                    if subscription in self._subscriptions:
-                        self._subscriptions.remove(subscription)
-                    if subscription.overflowed:
-                        self.shed_count += 1
-                subscription._fire_detach()
-                return subscription
+            if catch_up:
+                # published while still holding the sink lock: a
+                # concurrent execute_batch cannot order a newer delta
+                # batch ahead of this snapshot in the ring (a -row delta
+                # sequenced before its +row would be silently dropped by
+                # changelog semantics, leaving the subscriber's converged
+                # multiset permanently stale).  force=True never blocks.
+                subscription._publish(catch_up, time.monotonic(),
+                                      force=True)
+            if not completed:
+                self._subscriptions.append(subscription)
         if completed:
             subscription._close()
-            with self._lock:
-                if subscription in self._subscriptions:
-                    self._subscriptions.remove(subscription)
             subscription._fire_detach()
         return subscription
 

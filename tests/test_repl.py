@@ -154,6 +154,19 @@ class TestSetOption:
         assert shell.execution.columnar is None
         assert "must be" in shell.handle_line("\\set columnar sideways")
 
+    def test_legacy_knob_attributes_stay_assignable(self, shell):
+        """Scripts that poked the old per-knob attributes keep working:
+        the compatibility properties are read/write."""
+        shell.batch_size = 8
+        assert shell.execution.batch_size == 8
+        shell.executor = "threads"
+        assert shell.execution.executor == "threads"
+        shell.parallelism = 2
+        assert shell.execution.parallelism == 2
+        shell.watch_rate = 50.0
+        assert shell.execution.rate == 50.0
+        assert shell.batch_size == 8 and shell.watch_rate == 50.0
+
     def test_set_subscriber_knobs(self, shell):
         assert shell.handle_line("\\set max_buffer 256") == "max_buffer = 256"
         assert shell.execution.max_buffer == 256

@@ -280,7 +280,7 @@ class TestMetricsAndStats:
         count = sum(1 for _ in sub)
         assert wait_until(lambda: broker.metrics.get("alice", "detached") == 1)
         assert broker.metrics.get("alice", "admitted") == 1
-        assert broker.metrics.get("alice", "delivered") == count > 0
+        assert broker.metrics.get("alice", "published") == count > 0
         snapshot = broker.metrics.snapshot()
         assert snapshot["alice"]["admitted"] == 1
         assert "alice" in broker.metrics.summary()

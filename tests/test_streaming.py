@@ -3,6 +3,7 @@
 import math
 import random
 import threading
+from collections import Counter
 
 import pytest
 
@@ -221,6 +222,58 @@ class TestDeltaSink:
         replayed = [(d.sign, d.row) for d in subscription]
         assert sorted(r for _s, r in replayed) == [(1,), (2,), (2,)]
         assert all(sign == 1 for sign, _row in replayed)
+
+    def test_catch_up_larger_than_ring_is_not_shed(self):
+        """Regression: a bounded 'shed' subscriber attaching to a result
+        bigger than its ring must receive the full catch-up snapshot
+        (one overshoot at attach), not an instant lockout where every
+        re-subscribe sheds again."""
+        sink = DeltaSink()
+        sink.execute_batch("J", "J", [(i,) for i in range(100)])
+        subscription = sink.subscribe(max_buffer=8, on_overflow="shed")
+        assert not subscription.overflowed
+        drained = [subscription.pop() for _ in range(100)]
+        assert all(d is not None and d.sign == 1 for d in drained)
+        # once the overshoot is drained the ring is bounded again
+        sink.execute_batch("J", "J", [(i,) for i in range(9)])
+        assert subscription.overflowed
+
+    def test_subscribe_concurrent_with_pump_converges(self):
+        """Regression: the catch-up snapshot is ordered into the ring
+        under the sink lock.  If a concurrent publisher could slip a
+        delta batch ahead of the catch-up, a -row sequenced before its
+        +row would be dropped by changelog semantics and the
+        subscriber's converged multiset would keep the retracted row."""
+        sink = DeltaSink()
+        stop = threading.Event()
+
+        def pump():
+            i = 0
+            while not stop.is_set():
+                sink.execute_batch(
+                    "J", "J", [((i + j) % 7,) for j in range(3)])
+                sink.execute_batch("J", "J:retract", [((i + 3) % 7,)])
+                i += 1
+            sink.finish()
+
+        thread = threading.Thread(target=pump)
+        thread.start()
+        try:
+            subscriptions = [sink.subscribe() for _ in range(25)]
+        finally:
+            stop.set()
+            thread.join()
+        expected = sink.snapshot()
+        for subscription in subscriptions:
+            counts = Counter()
+            for delta in subscription:
+                if delta.sign > 0:
+                    counts[delta.row] += 1
+                elif counts[delta.row] > 0:
+                    counts[delta.row] -= 1
+                # a retraction of an absent row is dropped -- the
+                # client-side mirror that makes mis-ordering visible
+            assert sorted(counts.elements()) == expected
 
 
 class TestStreamMetrics:
