@@ -56,13 +56,39 @@ def connect(catalog=None, broker=None, execution=None, tenant="default",
     """Open a :class:`~repro.sql.catalog.SqlSession` -- the package's
     front door.
 
-    ``catalog`` holds the registered relations (a fresh one if omitted);
-    ``options`` configures the optimizer
-    (:class:`~repro.core.optimizer.OptimizerOptions`); ``execution``
-    sets the session's default :class:`ExecutionOptions` layer.  Pass a
-    shared :class:`~repro.serving.broker.QueryBroker` as ``broker`` (and
-    a ``tenant`` name) to make ``session.stream(...)`` attach to shared
-    resident topologies instead of running private ones.
+    Args:
+        catalog: the relation catalog to query against (a fresh, empty
+            one is created if omitted; register relations with
+            ``session.register``).
+        broker: a shared :class:`~repro.serving.broker.QueryBroker`.
+            When set, ``session.stream(...)`` attaches to shared
+            resident topologies (deduped by plan fingerprint across
+            sessions) instead of running private ones.
+        execution: the session's default :class:`ExecutionOptions`
+            layer; per-call ``options=`` overlays it
+            (broker < session < call).
+        tenant: the tenant name admission control and the per-tenant
+            serving counters attribute this session's subscriptions to.
+        options: optimizer configuration
+            (:class:`~repro.core.optimizer.OptimizerOptions`) --
+            machines, partitioning scheme, window clauses.
+
+    Returns:
+        A :class:`~repro.sql.catalog.SqlSession` exposing
+        ``register`` / ``execute`` / ``stream`` / ``plan``.
+
+    Example::
+
+        import repro
+        from repro.core.schema import Relation, Schema
+
+        session = repro.connect()
+        session.register(Relation("t", Schema.of("k", "v"),
+                                  [(1, 10), (1, 20), (2, 30)]))
+        result = session.execute(
+            "SELECT t.k, COUNT(*) FROM t GROUP BY t.k",
+            options=repro.ExecutionOptions(batch_size=64))
+        assert sorted(result.results) == [(1, 2), (2, 1)]
     """
     from repro.sql.catalog import SqlSession
 

@@ -1,0 +1,45 @@
+"""Incremental operator-state checkpointing for resident topologies.
+
+The durability layer behind the streaming ``processes`` executor
+(:mod:`repro.streaming`): per-task operator state is snapshotted at
+epoch barriers, **hash-diffed** so only partitions whose state actually
+changed are persisted (cheap merkle-style incremental snapshots), and
+restored -- together with an exactly-once replay of the post-checkpoint
+delta stream -- when a worker process dies.
+
+Three pieces:
+
+- :mod:`repro.checkpoint.store` -- the snapshot format: pickled task
+  blobs addressed by their sha256 content hash, one :class:`Manifest`
+  per epoch mapping ``(component, task)`` to a digest, and the
+  :class:`CheckpointStore` that deduplicates, garbage-collects and
+  (optionally) persists them to a directory.
+- :mod:`repro.checkpoint.log` -- the :class:`ChangeLog`: the
+  coordinator's in-memory WAL of everything that entered the dataplane
+  since the last checkpoint (source micro-batches and watermark
+  punctuations, in order), replayed verbatim after a restore.
+- the recovery protocol itself lives with the supervisor in
+  :class:`repro.streaming.cluster.StreamingCluster` (see
+  ``docs/FAULT_TOLERANCE.md`` for the walkthrough and the exactly-once
+  argument).
+"""
+
+from repro.checkpoint.log import ChangeLog
+from repro.checkpoint.store import (
+    CheckpointError,
+    CheckpointStore,
+    CommitResult,
+    Manifest,
+    hash_blob,
+    snapshot_blob,
+)
+
+__all__ = [
+    "ChangeLog",
+    "CheckpointError",
+    "CheckpointStore",
+    "CommitResult",
+    "Manifest",
+    "hash_blob",
+    "snapshot_blob",
+]

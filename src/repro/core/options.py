@@ -41,7 +41,7 @@ OVERFLOW_POLICIES = ("shed", "block")
 #: the legacy per-call kwargs the shared adapter understands
 LEGACY_EXECUTION_KWARGS = (
     "batch_size", "executor", "parallelism", "columnar", "rate",
-    "max_buffer", "on_overflow",
+    "max_buffer", "on_overflow", "checkpoint_interval",
 )
 
 
@@ -50,15 +50,32 @@ class ExecutionOptions:
     """How (not *what*) a query executes, across every front-end.
 
     All fields default to ``None`` ("not set"); :meth:`resolve` applies
-    the engine-wide defaults.  Instances are frozen -- derive variants
-    with :meth:`replace` / :meth:`overlay`.
+    the engine-wide defaults and raises ``ValueError`` on out-of-range
+    values (``batch_size < 1``, non-positive ``rate``, unknown
+    ``on_overflow``, ...).  Instances are frozen -- derive variants with
+    :meth:`replace` (field updates) / :meth:`overlay` (layering: the
+    overlay's set fields win).  Every front-end accepts ``options=``:
+    ``run_plan``, ``SqlSession.execute`` / ``stream``, the functional
+    API's ``.execute()`` / ``.stream()``, ``stream_plan`` and
+    ``QueryBroker.subscribe``.
+
+    Example::
+
+        from repro.core.options import ExecutionOptions
+
+        base = ExecutionOptions(batch_size=64, executor="processes")
+        tuned = base.replace(parallelism=4)
+        assert tuned.batch_size == 64 and tuned.parallelism == 4
+        resolved = tuned.resolve()
+        assert resolved.columnar  # defaulted on at batch_size >= 64
     """
 
     #: micro-batch granularity; None = the front-end default (1 for the
     #: finite engine's golden per-tuple path, 64 for streaming)
     batch_size: Optional[int] = None
-    #: execution backend: 'inline' | 'threads' | 'processes' (finite
-    #: plans only); None = 'inline'
+    #: execution backend: 'inline' | 'threads' | 'processes' (staged
+    #: waves for finite plans, resident checkpointed workers for
+    #: streaming); None = 'inline'
     executor: Optional[str] = None
     #: shared-nothing workers for the parallel backends; None = auto
     parallelism: Optional[int] = None
@@ -71,6 +88,9 @@ class ExecutionOptions:
     #: slow-subscriber policy: 'shed' (terminal SubscriberOverflow,
     #: never stalls the pipeline) | 'block' (producer backpressure)
     on_overflow: Optional[str] = None
+    #: pump rounds between operator-state checkpoints (streaming
+    #: executor='processes' only); None = the executor default (8)
+    checkpoint_interval: Optional[int] = None
 
     def resolve(self, default_batch_size: int = 1) -> "ExecutionOptions":
         """Fill every unset knob with its engine-wide default.
@@ -91,6 +111,10 @@ class ExecutionOptions:
                 f"parallelism must be >= 1, got {self.parallelism}")
         if self.rate is not None and self.rate <= 0:
             raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, "
+                f"got {self.checkpoint_interval}")
         columnar = self.columnar
         if columnar is None:
             columnar = batch_size >= COLUMNAR_MIN_BATCH
@@ -111,6 +135,7 @@ class ExecutionOptions:
             rate=self.rate,
             max_buffer=max_buffer,
             on_overflow=on_overflow,
+            checkpoint_interval=self.checkpoint_interval,
         )
 
     def replace(self, **changes) -> "ExecutionOptions":

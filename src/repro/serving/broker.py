@@ -157,15 +157,34 @@ class BrokerSubscription:
 class QueryBroker:
     """Registry of resident topologies, deduped by plan fingerprint.
 
-    ``options`` is the broker's execution default layer: every
-    subscription's options are ``broker.options.overlay(call options)``
-    before resolving, so a deployment can pin e.g. ``executor='threads'``
-    once.  Limits:
+    Args:
+        max_topologies: resident (running) topologies at once.
+        max_subscribers_per_topology: seats on one topology.
+        max_subscribers_per_tenant: active seats per tenant across all
+            topologies.
+        options: the broker's execution default layer -- every
+            subscription's options are
+            ``broker.options.overlay(call options)`` before resolving,
+            so a deployment can pin e.g. ``executor='threads'`` once.
 
-    - ``max_topologies`` -- resident (running) topologies at once;
-    - ``max_subscribers_per_topology`` -- seats on one topology;
-    - ``max_subscribers_per_tenant`` -- active seats per tenant across
-      all topologies.
+    Raises:
+        AdmissionError: from :meth:`subscribe` when any of the three
+            limits would be exceeded (counted per tenant in
+            :meth:`stats`; the pipeline itself is never affected).
+
+    Example::
+
+        import repro
+
+        broker = repro.QueryBroker(max_topologies=2)
+        catalog = None  # sessions share one broker, not one catalog
+        a = repro.connect(broker=broker, tenant="alice")
+        assert broker.topology_count == 0  # started on first stream()
+
+    Two sessions issuing the same SQL share one resident pipeline:
+    their subscriptions report equal ``fingerprint`` values and the
+    broker runs a single :class:`~repro.streaming.StreamingCluster`
+    for both (torn down when the last subscriber detaches).
     """
 
     def __init__(self, max_topologies: int = 8,

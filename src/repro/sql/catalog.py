@@ -79,14 +79,44 @@ class SqlSession:
                 parallelism: Optional[int] = None,
                 columnar: Optional[bool] = None,
                 options: Optional[ExecutionOptions] = None) -> RunResult:
-        """Parse, optimize and run a query on the local cluster.
+        """Parse, optimize and run a query to completion.
 
-        Execution knobs ride on ``options``
-        (:class:`~repro.core.options.ExecutionOptions`): micro-batch
-        granularity, backend ('inline', 'threads' or 'processes' over N
-        shared-nothing workers -- all return the same result multiset)
-        and the columnar toggle (default: on for batch_size >= 64).  The
-        individual kwargs remain as the deprecated spelling."""
+        Args:
+            sql: the query text (multi-way joins, predicates, GROUP BY
+                aggregation -- see :mod:`repro.sql.parser`).
+            options: execution knobs as one
+                :class:`~repro.core.options.ExecutionOptions` -- batch
+                size, backend (``'inline'`` | ``'threads'`` |
+                ``'processes'``; all return the same result multiset),
+                parallelism and the columnar toggle.  Overlays the
+                session's ``execution`` defaults.
+            batch_size / executor / parallelism / columnar: the
+                deprecated per-knob spelling; warns if one conflicts
+                with ``options``.
+
+        Returns:
+            A :class:`~repro.engine.runner.RunResult` -- ``results``
+            (final rows), ``metrics`` (per-component counters),
+            ``replication_factor`` (section-6 monitors).
+
+        Raises:
+            SqlError: on parse/name-resolution failures.
+            ExecutorError: when the chosen backend cannot run the plan
+                (e.g. adaptive partitioners on 'threads'/'processes').
+
+        Example::
+
+            import repro
+            from repro.core.schema import Relation, Schema
+
+            session = repro.connect()
+            session.register(Relation("t", Schema.of("k", "v"),
+                                      [(1, 10), (2, 20)]))
+            result = session.execute(
+                "SELECT t.k, COUNT(*) FROM t GROUP BY t.k",
+                options=repro.ExecutionOptions(batch_size=64))
+            assert sorted(result.results) == [(1, 1), (2, 1)]
+        """
         merged = self._merged(options, dict(
             batch_size=batch_size, executor=executor,
             parallelism=parallelism, columnar=columnar))
@@ -102,24 +132,62 @@ class SqlSession:
         replayed as rate-limited push sources and the query stays
         resident, emitting live ``(+row / -row)`` result deltas.
 
-        Unbound (no broker): returns a private
-        :class:`repro.streaming.StreamingQuery` -- iterate it for
-        deltas, ``.run()`` to drive it to source exhaustion,
-        ``.snapshot()`` for the current result multiset (which, once the
-        sources are exhausted, equals ``execute(sql).results`` on the
-        same data).
+        Args:
+            sql: the query text, as for :meth:`execute`.
+            options: execution knobs
+                (:class:`~repro.core.options.ExecutionOptions`).  On
+                top of the batch knobs: ``rate`` (replayed rows/second
+                per source), ``max_buffer`` / ``on_overflow`` (this
+                subscriber's delta ring, broker mode),
+                ``parallelism`` and ``checkpoint_interval`` (the
+                fault-tolerant ``executor='processes'`` resident
+                workers -- see ``docs/FAULT_TOLERANCE.md``).  Unset
+                knobs resolve exactly as in the batch engine (columnar
+                on at batch_size >= 64; streaming default batch size
+                64).
+            tenant: overrides the session's tenant for this
+                subscription (broker mode).
+            track_latency: record publish-to-pop delta latencies.
+            batch_size / executor / rate / columnar: the deprecated
+                per-knob spelling; warns if one conflicts with
+                ``options``.
 
-        Bound to a broker: returns a
-        :class:`~repro.serving.broker.BrokerSubscription` on the shared
-        resident topology for this plan (started on first use, deduped
-        across sessions); ``max_buffer`` / ``on_overflow`` in the
-        options bound this subscriber's ring.
+        Returns:
+            Without a broker: a private
+            :class:`repro.streaming.StreamingQuery` -- iterate it for
+            deltas, ``.run()`` to drive it to source exhaustion,
+            ``.snapshot()`` for the current result multiset (which,
+            once the sources are exhausted, equals
+            ``execute(sql).results`` on the same data).  Bound to a
+            broker: a :class:`~repro.serving.broker.BrokerSubscription`
+            on the shared resident topology for this plan (started on
+            first use, deduped across sessions).
+
+        Raises:
+            SqlError: on parse/name-resolution failures.
+            AdmissionError: broker mode, when a serving limit is hit.
+            ExecutorError: when the backend cannot run the plan
+                resident.
 
         Window semantics come from the session options
-        (``OptimizerOptions.agg_window`` / ``window``); watermarks follow
-        the window's event-time column.  Unset execution knobs resolve
-        exactly as in the batch engine (columnar on at batch_size >= 64;
-        streaming default batch size 64)."""
+        (``OptimizerOptions.agg_window`` / ``window``); watermarks
+        follow the window's event-time column.
+
+        Example::
+
+            import repro
+            from repro.core.schema import Relation, Schema
+
+            session = repro.connect()
+            session.register(Relation("t", Schema.of("k", "v"),
+                                      [(1, 10), (1, 20)]))
+            query = session.stream(
+                "SELECT t.k, COUNT(*) FROM t GROUP BY t.k",
+                options=repro.ExecutionOptions(batch_size=8))
+            deltas = list(query)    # drain: sources are finite here
+            assert query.snapshot() == [(1, 2)]
+            assert [d.sign for d in deltas[-1:]] == [1]
+        """
         from repro.streaming.runner import agg_window_ts_positions, stream_plan
 
         logical = parse_query(sql, self._schemas())

@@ -151,6 +151,25 @@ class Router:
             name: spec.parallelism for name, spec in topology.components.items()
         }
 
+    def routing_state(self) -> Dict[str, List[object]]:
+        """Mutable grouping state per component's out-edges (checkpoint).
+
+        Recovery replays the post-checkpoint stream through this router;
+        rewinding stateful groupings (shuffle cursors) to the checkpoint
+        makes the replayed routing identical to the original delivery.
+        """
+        return {
+            name: [grouping.routing_state() for _edge, grouping in edges]
+            for name, edges in self._edges.items()
+        }
+
+    def restore_routing_state(self, state: Dict[str, List[object]]):
+        for name, per_edge in state.items():
+            for (_edge, grouping), edge_state in zip(
+                    self._edges.get(name, ()), per_edge):
+                if edge_state is not None:
+                    grouping.restore_routing_state(edge_state)
+
     def route(self, source: str, emissions: List[Tuple[str, tuple]],
               coalesce: bool = True) -> List[WorkItem]:
         """Partition one component's emissions across subscriber tasks.
@@ -547,6 +566,446 @@ class ProcessExecutor(StagedExecutor):
             _ProcessWorker(context, self._make_state(worker_id, batch_size))
             for worker_id in range(self.n_workers)
         ]
+
+
+# ---------------------------------------------------------------------------
+# Resident workers (the streaming 'processes' executor)
+# ---------------------------------------------------------------------------
+
+
+class WorkerDied(ExecutorError):
+    """A resident worker process is gone (crash, SIGKILL, lost pipe).
+
+    Raised by :class:`ResidentWorkerPool` commands; carries the dead
+    worker ids so the supervisor (the streaming coordinator) can respawn
+    exactly those workers and run the recovery protocol.
+    """
+
+    def __init__(self, worker_ids: List[int]):
+        super().__init__(f"resident worker(s) {sorted(worker_ids)} died")
+        self.worker_ids = sorted(worker_ids)
+
+
+class ResidentWorkerState:
+    """Everything one resident worker owns: bolt tasks + armed faults.
+
+    Unlike the staged :class:`WorkerState`, a resident worker does *no*
+    routing: it executes delivered micro-batches on its owned tasks and
+    returns the raw emissions for the coordinator to route centrally.
+    Central routing keeps all grouping state in the coordinator -- the
+    process that survives worker crashes -- so recovery never has to
+    reconcile diverged per-worker routing state.
+
+    ``kill_after`` arms deterministic fault injection
+    (:class:`repro.storm.failures.FaultInjector`): after the worker has
+    executed that many micro-batches *in this incarnation*, it SIGKILLs
+    itself mid-protocol -- the test harness for the recovery path.
+    """
+
+    def __init__(self, worker_id: int, owned: Dict[Tuple[str, int], object],
+                 kill_after: Optional[List[Tuple[int, int]]] = None):
+        self.worker_id = worker_id
+        self.owned = owned  # (component, task_index) -> task instance
+        self.batches_executed = 0
+        #: [(after_batches, signal), ...], sorted; consumed front to back
+        self.kill_after = sorted(kill_after or [])
+
+    def _maybe_die(self):
+        if not self.kill_after:
+            return
+        after, signal = self.kill_after[0]
+        if self.batches_executed >= after:
+            os.kill(os.getpid(), signal)  # SIGKILL: never returns
+
+    def execute(self, items: List[WorkItem]):
+        """Run delivered batches in order; return raw emissions + metrics."""
+        outputs: List[Tuple[str, int, object]] = []
+        emits: List[tuple] = []
+        receives: List[tuple] = []
+        batches: List[tuple] = []
+        paths = [0, 0, 0, 0]
+        for target, task_index, source, stream, rows in items:
+            bolt = self.owned[(target, task_index)]
+            receives.append((source, target, task_index, len(rows)))
+            batches.append((target, task_index))
+            if isinstance(rows, ColumnBatch):
+                paths[0] += len(rows)
+                paths[1] += 1
+            else:
+                paths[2] += len(rows)
+                paths[3] += 1
+            emissions = bolt.execute_batch(source, stream, rows)
+            self.batches_executed += 1
+            if emissions:
+                emits.append((target, task_index, len(emissions)))
+                outputs.append((target, task_index, emissions))
+            self._maybe_die()
+        return outputs, (emits, receives, batches, paths)
+
+    def advance_watermark(self, watermark: float):
+        """Apply one watermark punctuation to every owned windowed task."""
+        outputs: List[Tuple[str, int, object]] = []
+        for (name, task_index) in sorted(self.owned):
+            hook = getattr(self.owned[(name, task_index)],
+                           "advance_watermark", None)
+            if hook is None:
+                continue
+            emissions = hook(watermark)
+            if emissions:
+                outputs.append((name, task_index, emissions))
+        return outputs
+
+    def finish_component(self, component: str):
+        """End-of-stream flush for one component's owned tasks."""
+        outputs: List[Tuple[str, int, object]] = []
+        for (name, task_index) in sorted(self.owned):
+            if name != component:
+                continue
+            emissions = self.owned[(name, task_index)].finish()
+            if emissions:
+                outputs.append((name, task_index, emissions))
+        return outputs
+
+    def checkpoint(self, known: Dict[Tuple[str, int], str]):
+        """Hash-diff snapshot of every owned task.
+
+        Returns ``{key: (digest, blob-or-None)}`` -- the blob travels
+        over the pipe only when the digest differs from the store's
+        latest manifest (``known``), so an unchanged partition costs one
+        pickle + hash and zero IPC bytes.
+        """
+        from repro.checkpoint.store import hash_blob, snapshot_blob
+
+        snapshots = {}
+        for key in sorted(self.owned):
+            blob = snapshot_blob(self.owned[key])
+            digest = hash_blob(blob)
+            snapshots[key] = (
+                digest, None if known.get(key) == digest else blob)
+        return snapshots
+
+    def restore(self, blobs: Dict[Tuple[str, int], bytes]):
+        """Replace owned task instances with unpickled snapshot state."""
+        for key, blob in blobs.items():
+            if key in self.owned:
+                self.owned[key] = pickle.loads(blob)
+        return len(blobs)
+
+
+def resident_worker_loop(state: ResidentWorkerState, recv, send):
+    """Command loop of one resident worker process.
+
+    Commands: ``execute`` (micro-batches), ``watermark`` (punctuation),
+    ``finish`` (per-component end-of-stream flush), ``checkpoint``
+    (hash-diff snapshot), ``restore`` (load snapshot state), ``ping``
+    (liveness), ``stop``.  Every command gets exactly one reply, so the
+    coordinator's pipe protocol stays in lock-step; a worker death
+    between command and reply surfaces as EOF on the coordinator side.
+    """
+    while True:
+        message = recv()
+        kind = message[0]
+        try:
+            if kind == "execute":
+                send(("ok", state.execute(message[1])))
+            elif kind == "watermark":
+                send(("ok", state.advance_watermark(message[1])))
+            elif kind == "finish":
+                send(("ok", state.finish_component(message[1])))
+            elif kind == "checkpoint":
+                send(("ok", state.checkpoint(message[1])))
+            elif kind == "restore":
+                send(("ok", state.restore(message[1])))
+            elif kind == "ping":
+                send(("ok", state.worker_id))
+            elif kind == "stop":
+                return
+            else:  # pragma: no cover - protocol bug
+                send(("error", f"unknown command {kind!r}"))
+        except Exception:
+            send(("error", traceback.format_exc()))
+
+
+class ResidentWorker:
+    """One long-lived forked worker process behind a duplex pipe."""
+
+    def __init__(self, context, state: ResidentWorkerState):
+        self.worker_id = state.worker_id
+        self._parent_conn, child_conn = context.Pipe()
+        self._process = context.Process(
+            target=_resident_worker_main, args=(state, child_conn),
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid
+
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+    def send(self, message):
+        self._parent_conn.send(message)
+
+    def recv(self):
+        return self._parent_conn.recv()
+
+    def stop(self):
+        try:
+            self._parent_conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=10)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=5)
+        self._parent_conn.close()
+
+    def reap(self):
+        """Release a dead worker's process + pipe resources."""
+        self._process.join(timeout=5)
+        try:
+            self._parent_conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+def _resident_worker_main(state: ResidentWorkerState, conn):
+    def send(reply):
+        try:
+            conn.send(reply)
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+
+    try:
+        resident_worker_loop(state, conn.recv, send)
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - shutdown
+        pass
+    finally:
+        conn.close()
+
+
+class ResidentWorkerPool:
+    """Supervisor for the streaming ``processes`` backend.
+
+    Owns the fork/assignment/respawn lifecycle of N resident workers,
+    each holding a disjoint slice of the topology's bolt tasks
+    (``exclude`` names coordinator-owned components -- the delta sinks,
+    whose subscriptions must live in the parent).  All commands detect
+    worker death (EOF / broken pipe / liveness probe) and raise
+    :class:`WorkerDied` with the dead ids; the streaming coordinator
+    reacts by respawning (:meth:`respawn`) and running the
+    checkpoint-restore + replay recovery protocol.
+    """
+
+    def __init__(self, topology: Topology,
+                 tasks: Dict[str, List[object]],
+                 parallelism: Optional[int] = None,
+                 exclude: Optional[set] = None,
+                 kill_plan: Optional[Dict[int, List[Tuple[int, int]]]] = None):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ExecutorError(
+                "the resident 'processes' backend needs the fork start "
+                "method; use executor='threads' or 'inline' on this platform"
+            )
+        self._context = multiprocessing.get_context("fork")
+        self._topology = topology
+        self._tasks = tasks
+        exclude = exclude or set()
+        worker_keys = [
+            (name, task_index)
+            for name in topology.topological_order()
+            if not topology.components[name].is_spout and name not in exclude
+            for task_index in range(topology.components[name].parallelism)
+        ]
+        requested = default_parallelism() if parallelism is None else parallelism
+        if requested < 1:
+            raise ExecutorError(f"parallelism must be >= 1, got {requested}")
+        self.n_workers = max(1, min(requested, len(worker_keys)))
+        #: (component, task_index) -> owning worker id (round-robin)
+        self.assignment: Dict[Tuple[str, int], int] = {
+            key: index % self.n_workers
+            for index, key in enumerate(worker_keys)
+        }
+        #: armed fault-injection kills per worker (consumed on death)
+        self._kill_plan = {w: list(specs)
+                           for w, specs in (kill_plan or {}).items()}
+        self._workers: Dict[int, ResidentWorker] = {}
+        self.respawn_count = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def arm_kills(self, kill_plan: Dict[int, List[Tuple[int, int]]]):
+        """Install per-worker fault-injection kills (call before start():
+        the specs ride into the workers at fork time)."""
+        self._kill_plan = {worker_id: list(specs)
+                           for worker_id, specs in kill_plan.items()}
+
+    def owner(self, component: str, task_index: int) -> Optional[int]:
+        """Owning worker id, or None for coordinator-owned tasks."""
+        return self.assignment.get((component, task_index))
+
+    def owned_keys(self, worker_id: int) -> List[Tuple[str, int]]:
+        return sorted(key for key, owner in self.assignment.items()
+                      if owner == worker_id)
+
+    def _make_state(self, worker_id: int) -> ResidentWorkerState:
+        owned = {key: self._tasks[key[0]][key[1]]
+                 for key in self.owned_keys(worker_id)}
+        return ResidentWorkerState(
+            worker_id, owned, kill_after=self._kill_plan.get(worker_id))
+
+    def start(self):
+        if not self.assignment:
+            return
+        for worker_id in range(self.n_workers):
+            self._workers[worker_id] = ResidentWorker(
+                self._context, self._make_state(worker_id))
+
+    def stop(self):
+        for worker in self._workers.values():
+            if worker.alive():
+                worker.stop()
+            else:
+                worker.reap()
+        self._workers.clear()
+
+    def pids(self) -> Dict[int, Optional[int]]:
+        """Live worker pids (the kill-a-worker demo's target list)."""
+        return {worker_id: worker.pid
+                for worker_id, worker in self._workers.items()}
+
+    def reap_dead(self) -> List[int]:
+        """Liveness sweep: ids of workers found dead (not yet respawned)."""
+        return [worker_id for worker_id, worker in self._workers.items()
+                if not worker.alive()]
+
+    def respawn(self, worker_ids: List[int]):
+        """Replace dead workers with fresh forks (initial task state).
+
+        The new incarnation starts from the parent's pristine task
+        instances; the supervisor is expected to follow up with a
+        ``restore`` command carrying the latest checkpoint blobs.  The
+        armed fault that killed the dead incarnation (its lowest kill
+        point) is consumed; later armed kills re-arm against the new
+        incarnation's batch counter, so multi-kill scenarios stay
+        deterministic.
+        """
+        for worker_id in worker_ids:
+            worker = self._workers.get(worker_id)
+            if worker is not None:
+                worker.reap()
+            remaining = sorted(self._kill_plan.pop(worker_id, []))[1:]
+            if remaining:
+                self._kill_plan[worker_id] = remaining
+            self._workers[worker_id] = ResidentWorker(
+                self._context, self._make_state(worker_id))
+            self.respawn_count += 1
+
+    # -- command fan-out ---------------------------------------------------
+
+    def _command(self, recipients: Dict[int, tuple]) -> Dict[int, object]:
+        """Send one command per recipient, then collect every reply.
+
+        The reply phase always drains every worker that was sent a
+        command (otherwise a stale reply would desynchronize the next
+        command round); any send/recv failure or error reply marks that
+        worker dead and the whole round raises :class:`WorkerDied` after
+        draining -- the caller abandons the round and recovers.
+        """
+        dead: List[int] = []
+        errors: List[str] = []
+        sent: List[int] = []
+        for worker_id, message in recipients.items():
+            try:
+                self._workers[worker_id].send(message)
+                sent.append(worker_id)
+            except (BrokenPipeError, EOFError, OSError):
+                dead.append(worker_id)
+        replies: Dict[int, object] = {}
+        for worker_id in sent:
+            try:
+                status, payload = self._workers[worker_id].recv()
+            except (BrokenPipeError, EOFError, OSError):
+                dead.append(worker_id)
+                continue
+            if status != "ok":
+                errors.append(f"worker {worker_id} failed:\n{payload}")
+                continue
+            replies[worker_id] = payload
+        if errors:
+            raise ExecutorError("resident worker error:\n" + "\n".join(errors))
+        if dead:
+            raise WorkerDied(dead)
+        return replies
+
+    def execute(self, per_worker: Dict[int, List[WorkItem]]):
+        """Deliver routed micro-batches; returns (outputs, metric deltas).
+
+        Workers execute their slices concurrently (each in its own
+        process); outputs are merged in worker-id order so delivery
+        stays deterministic for a fixed assignment.
+        """
+        replies = self._command({
+            worker_id: ("execute", items)
+            for worker_id, items in per_worker.items() if items
+        })
+        outputs: List[Tuple[str, int, object]] = []
+        deltas: List[MetricDeltas] = []
+        for worker_id in sorted(replies):
+            worker_outputs, worker_deltas = replies[worker_id]
+            outputs.extend(worker_outputs)
+            deltas.append(worker_deltas)
+        return outputs, deltas
+
+    def broadcast_watermark(self, watermark: float):
+        """Punctuate every worker; returns merged hook emissions."""
+        replies = self._command({
+            worker_id: ("watermark", watermark)
+            for worker_id in self._workers
+        })
+        return [output for worker_id in sorted(replies)
+                for output in replies[worker_id]]
+
+    def finish_component(self, component: str):
+        """Flush one component's tasks across the owning workers."""
+        owners = sorted({
+            owner for (name, _i), owner in self.assignment.items()
+            if name == component
+        })
+        replies = self._command({
+            worker_id: ("finish", component) for worker_id in owners
+        })
+        return [output for worker_id in sorted(replies)
+                for output in replies[worker_id]]
+
+    def checkpoint(self, known: Dict[Tuple[str, int], str]):
+        """Collect one hash-diff snapshot from every worker."""
+        replies = self._command({
+            worker_id: ("checkpoint", {
+                key: digest for key, digest in known.items()
+                if self.assignment.get(key) == worker_id
+            })
+            for worker_id in self._workers
+        })
+        snapshots: Dict[Tuple[str, int], Tuple[str, Optional[bytes]]] = {}
+        for worker_id in sorted(replies):
+            snapshots.update(replies[worker_id])
+        return snapshots
+
+    def restore(self, blobs: Dict[Tuple[str, int], bytes]):
+        """Load snapshot state into every worker (survivors included)."""
+        self._command({
+            worker_id: ("restore", {
+                key: blob for key, blob in blobs.items()
+                if self.assignment.get(key) == worker_id
+            })
+            for worker_id in self._workers
+        })
 
 
 _BACKENDS = {

@@ -1,20 +1,32 @@
-"""Fault tolerance through scheme-aware peer recovery (paper section 5).
+"""Fault tolerance: peer recovery, checkpoint planning, fault injection.
 
-If the partitioning scheme replicates tuples, a failed node can recover
-its state from peers instead of a disk checkpoint -- network accesses are
-several times faster than disk.  A peer of machine ``m`` for relation
-``R`` is any machine that agrees with ``m`` on every dimension ``R`` owns:
-those machines hold identical replicas of ``R``'s slice.
+Two recovery mechanisms, per the paper (section 5):
 
-When the scheme replicates only part of the operator state, Squall
-checkpoints exactly the non-replicated part -- :func:`checkpoint_plan`
-computes which relations need it.
+- **Peer recovery**: if the partitioning scheme replicates tuples, a
+  failed node recovers its state from peers instead of a disk checkpoint
+  -- network accesses are several times faster than disk.  A peer of
+  machine ``m`` for relation ``R`` is any machine that agrees with ``m``
+  on every dimension ``R`` owns: those machines hold identical replicas
+  of ``R``'s slice.
+- **Checkpointing**: when the scheme replicates only part of the
+  operator state, Squall checkpoints exactly the non-replicated part --
+  :func:`checkpoint_plan` computes which relations need it, and
+  :func:`recovery_strategy` names the mechanism per relation.  The
+  streaming ``processes`` executor implements the checkpoint side end to
+  end (:mod:`repro.checkpoint`, ``docs/FAULT_TOLERANCE.md``).
+
+:class:`FaultInjector` is the test harness for the checkpoint path: it
+arms deterministic worker crashes (a resident worker SIGKILLs itself
+after N executed micro-batches), resolved against the supervisor's task
+assignment so a test can kill exactly the worker owning a chosen
+operator partition.
 """
 
 from __future__ import annotations
 
+import signal as _signal
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.partitioning.hypercube import HypercubePartitioner
 
@@ -91,3 +103,74 @@ def checkpoint_plan(partitioner: HypercubePartitioner) -> Dict[str, bool]:
     for rel_name in partitioner.relation_names():
         plan[rel_name] = partitioner.expected_replication(rel_name) == 1
     return plan
+
+
+def recovery_strategy(partitioner: HypercubePartitioner) -> Dict[str, str]:
+    """Recovery mechanism per relation: ``'peer'`` or ``'checkpoint'``.
+
+    The decision rule of the paper's section 5, spelled out: a relation
+    whose scheme replication factor exceeds 1 has identical replicas on
+    peer machines -- recover it over the network (:class:`ReplicatedState\
+Tracker.fail_and_recover`).  A relation owning every dimension has no
+    replica anywhere; only a checkpoint (:mod:`repro.checkpoint`) can
+    bring it back.
+    """
+    return {
+        rel_name: "checkpoint" if needs_checkpoint else "peer"
+        for rel_name, needs_checkpoint in checkpoint_plan(partitioner).items()
+    }
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """One armed crash: SIGKILL the worker owning a partition.
+
+    ``component``/``task_index`` pick the operator partition whose
+    *owning resident worker* is the victim; ``after_batches`` is the
+    number of micro-batches that worker executes (across all its owned
+    tasks) before killing itself -- a deterministic kill point in the
+    stream rather than a racy timer.
+    """
+
+    component: str
+    task_index: int = 0
+    after_batches: int = 1
+    signal: int = _signal.SIGKILL
+
+
+class FaultInjector:
+    """Deterministic worker-crash injection for the resident executor.
+
+    Collects :class:`WorkerKill` specs and resolves them against a
+    supervisor's task assignment (``{(component, task_index): worker_id}``)
+    into the per-worker kill plan the forked workers arm at startup.
+    A spec naming a coordinator-owned partition (a delta sink, a source
+    pump) is rejected: those live in the supervising process, which is
+    outside the worker failure domain this harness exercises.
+    """
+
+    def __init__(self, kills: List[WorkerKill] = ()):
+        self.kills: List[WorkerKill] = list(kills)
+
+    def kill_worker_of(self, component: str, task_index: int = 0,
+                       after_batches: int = 1) -> "FaultInjector":
+        """Arm one kill; returns self for chaining."""
+        self.kills.append(WorkerKill(component, task_index, after_batches))
+        return self
+
+    def kill_plan(self, assignment: Dict[Tuple[str, int], int]
+                  ) -> Dict[int, List[Tuple[int, int]]]:
+        """Resolve the armed specs to ``{worker_id: [(after, signal)]}``."""
+        plan: Dict[int, List[Tuple[int, int]]] = {}
+        for kill in self.kills:
+            key = (kill.component, kill.task_index)
+            owner = assignment.get(key)
+            if owner is None:
+                raise ValueError(
+                    f"cannot arm a kill for {key}: not a worker-owned "
+                    f"partition (sinks and sources live in the "
+                    f"coordinator; pick a join or aggregation task)"
+                )
+            plan.setdefault(owner, []).append(
+                (kill.after_batches, kill.signal))
+        return plan

@@ -98,12 +98,33 @@ class Grouping:
         rather than the grouping wrapper."""
         return type(self).__name__
 
+    def routing_state(self):
+        """Mutable routing state to include in a checkpoint, or None.
+
+        Exactly-once recovery replays the post-checkpoint delta stream
+        through the *same* routing decisions as the original delivery;
+        stateful groupings (the shuffle round-robin counter) expose their
+        cursor here so :meth:`restore_routing_state` can rewind it.
+        Stateless groupings -- pure functions of the tuple -- return
+        None and need no rewind.
+        """
+        return None
+
+    def restore_routing_state(self, state) -> None:
+        """Rewind routing state captured by :meth:`routing_state`."""
+
 
 class ShuffleGrouping(Grouping):
     """Round-robin distribution -- content-insensitive."""
 
     def __init__(self):
         self._next = 0
+
+    def routing_state(self):
+        return self._next
+
+    def restore_routing_state(self, state) -> None:
+        self._next = state
 
     def targets(self, stream: str, values: tuple, n_tasks: int) -> List[int]:
         target = self._next % n_tasks

@@ -8,7 +8,7 @@ dataplane (no per-tuple regression), watermark punctuations drive window
 expiration between batches, and the :class:`~repro.streaming.deltas.\
 DeltaSink` at the bottom feeds live ``+row/-row`` deltas to subscribers.
 
-Two executors:
+Three executors:
 
 - ``inline`` -- a single-threaded pump loop over the resident
   :class:`LocalCluster`.  Each round polls every source for one
@@ -26,8 +26,22 @@ Two executors:
   (``Grouping.task_local``); partitioners that adapt to the globally
   observed stream are refused up front, exactly as in
   :mod:`repro.storm.executor`.
+- ``processes`` -- **resident forked worker processes** holding the
+  topology's join/aggregation tasks, exchanging serialized micro-batches
+  with the coordinator over long-lived pipes: the fault-tolerant
+  shared-nothing deployment of the paper's Storm runtime.  The
+  coordinator keeps everything a crash must not lose -- source pumps,
+  the routing table, the delta sinks with their subscriptions, the
+  change log and the checkpoint store -- and supervises the workers:
+  operator state is checkpointed incrementally every
+  ``checkpoint_interval`` rounds (hash-diffed so unchanged partitions
+  persist zero bytes; see :mod:`repro.checkpoint`), dead workers are
+  detected, respawned, restored from the latest snapshot, and the
+  post-checkpoint delta stream is replayed exactly-once, so the final
+  snapshot is byte-identical to a crash-free (and to a batch) run.
+  The full walkthrough lives in ``docs/FAULT_TOLERANCE.md``.
 
-Both executors produce the same final snapshot as ``run_plan`` on the
+All executors produce the same final snapshot as ``run_plan`` on the
 same data; the inline executor at equal ``batch_size`` reproduces the
 finite engine's interleaving exactly.
 """
@@ -35,26 +49,36 @@ finite engine's interleaving exactly.
 from __future__ import annotations
 
 import math
+import pickle
 import queue
 import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.checkpoint import ChangeLog, CheckpointStore
+from repro.checkpoint.log import DATA as _LOG_DATA
 from repro.core.columnar import ColumnBatch, ColumnEmissions
 from repro.engine.operators import Projection, Selection
 from repro.storm.cluster import LocalCluster
 from repro.storm.executor import (
     ExecutorError,
+    ResidentWorkerPool,
     Router,
+    WorkerDied,
+    WorkItem,
     ensure_task_local_routing,
 )
-from repro.storm.metrics import StreamMetrics
+from repro.storm.failures import FaultInjector
+from repro.storm.metrics import CheckpointMetrics, StreamMetrics
 from repro.storm.topology import Topology
 from repro.streaming.deltas import DeltaSink, Subscription
 from repro.streaming.sources import Emission, PushSource
 from repro.streaming.watermarks import WatermarkTracker
 
-STREAMING_EXECUTORS = ("inline", "threads")
+STREAMING_EXECUTORS = ("inline", "threads", "processes")
+
+#: checkpoint cadence (pump rounds) when none is configured
+DEFAULT_CHECKPOINT_INTERVAL = 8
 
 #: message kinds flowing through a worker task's queue
 _DATA, _WM, _EOS = "data", "wm", "eos"
@@ -131,14 +155,18 @@ class StreamingCluster:
                                      Optional[Projection]]]] = None,
                  clock: Callable[[], float] = time.monotonic,
                  idle_sleep: float = 0.0005,
-                 columnar: bool = False):
+                 columnar: bool = False,
+                 parallelism: Optional[int] = None,
+                 checkpoint_interval: Optional[int] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 fault_injector: Optional[FaultInjector] = None,
+                 max_recoveries: int = 5):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if executor not in STREAMING_EXECUTORS:
             raise ExecutorError(
                 f"unknown streaming executor {executor!r}; choose one of "
-                f"{STREAMING_EXECUTORS} (the staged 'processes' backend "
-                f"cannot keep a topology resident)"
+                f"{STREAMING_EXECUTORS}"
             )
         spout_names = sorted(
             name for name, spec in topology.components.items() if spec.is_spout
@@ -150,6 +178,12 @@ class StreamingCluster:
             )
         if executor == "threads":
             ensure_task_local_routing(topology, "threads")
+        if executor == "processes":
+            # adaptive partitioners reshape with the observed stream; a
+            # recovery replay would route the replayed rows through the
+            # *post*-failure shape and land them on different partitions
+            # than the original delivery -- refuse, as the staged backends do
+            ensure_task_local_routing(topology, "processes")
         self.topology = topology
         self.batch_size = batch_size
         self.executor = executor
@@ -194,6 +228,35 @@ class StreamingCluster:
         ]
         self._threads: List[threading.Thread] = []
         self._worker_error: List[str] = []
+        # -- processes executor: checkpointed resident workers ------------
+        self.checkpoint_interval = (
+            DEFAULT_CHECKPOINT_INTERVAL if checkpoint_interval is None
+            else checkpoint_interval)
+        self.max_recoveries = max_recoveries
+        #: checkpoint/recovery accounting (always present; only the
+        #: processes executor feeds it)
+        self.checkpoints = CheckpointMetrics()
+        self._fault_injector = fault_injector
+        self._pool: Optional[ResidentWorkerPool] = None
+        self._pool_parallelism = parallelism
+        self._store = CheckpointStore(directory=checkpoint_dir)
+        self._log = ChangeLog()
+        self._epoch = 0
+        self._rounds_since_checkpoint = 0
+        self._recoveries = 0
+        if executor == "processes":
+            # sinks stay in the coordinator: their subscriptions hold live
+            # condition variables and must survive any worker crash
+            self._coordinator_owned = {
+                name for name, _i, task in self._bolt_tasks
+                if isinstance(task, DeltaSink)
+            }
+            self._local_tasks: Dict[Tuple[str, int], object] = {
+                (name, task_index): task
+                for name, task_index, task in self._bolt_tasks
+                if name in self._coordinator_owned
+            }
+            self._proc_router = Router(topology, clone=True)
 
     # -- public surface ----------------------------------------------------
 
@@ -229,6 +292,8 @@ class StreamingCluster:
         """Live progress snapshot, with delta totals read off the sinks."""
         snapshot = self.stats.snapshot()
         snapshot["deltas"] = sum(sink.delta_count for sink in self._sinks)
+        if self.executor == "processes":
+            snapshot["checkpoints"] = self.checkpoints.snapshot()
         return snapshot
 
     def run(self):
@@ -296,6 +361,8 @@ class StreamingCluster:
         data is in flight anywhere -- advances the merged watermark and
         finally flushes the topology once all sources are exhausted.
         """
+        if self.executor == "processes":
+            return self._step_processes()
         if self.executor != "inline":
             raise ExecutorError(
                 "step() drives the inline executor; the threads executor "
@@ -373,6 +440,294 @@ class StreamingCluster:
             if emissions:
                 self.cluster.inject(name, emissions, task_index=task_index)
         return True
+
+    # -- processes executor: resident workers + checkpoint/recovery --------
+
+    def worker_pids(self) -> Dict[int, Optional[int]]:
+        """Live resident-worker pids (kill targets for chaos testing)."""
+        if self._pool is None:
+            return {}
+        return self._pool.pids()
+
+    def _ensure_pool(self):
+        """Fork the resident workers on first use; epoch 0 is committed
+        immediately, so recovery always has a restore point."""
+        if self._pool is not None:
+            return
+        pool = ResidentWorkerPool(
+            self.topology, {name: list(self.cluster.tasks(name))
+                            for name in self.topology.components},
+            parallelism=self._pool_parallelism,
+            exclude=self._coordinator_owned,
+        )
+        if self._fault_injector is not None:
+            pool.arm_kills(self._fault_injector.kill_plan(pool.assignment))
+        pool.start()
+        self._pool = pool
+        self._checkpoint()
+
+    def _step_processes(self) -> bool:
+        """One coordinator round: poll -> log -> dispatch -> punctuate ->
+        checkpoint, with crash recovery wrapped around the whole round.
+
+        Any worker death detected mid-round (EOF on a pipe, a liveness
+        sweep) abandons the round and runs the recovery protocol; the
+        change log guarantees nothing injected this round is lost and
+        nothing already checkpointed is applied twice.
+        """
+        if self.done:
+            return False
+        self._ensure_pool()
+        try:
+            dead = self._pool.reap_dead()
+            if dead:
+                raise WorkerDied(dead)
+            return self._step_processes_round()
+        except WorkerDied as death:
+            self._recover(death.worker_ids)
+            return True
+
+    def _step_processes_round(self) -> bool:
+        if self._stop.is_set():
+            self._flush_processes()
+            return True
+        progressed = False
+        for name, pump in self._pumps.items():
+            if name in self._finished_sources:
+                continue
+            emissions = pump.poll(self.batch_size)
+            if pump.last_poll_raw:
+                progressed = True
+            if emissions:
+                self.stats.record_events(
+                    len(emissions), pump.source.max_event_time)
+                # logged before dispatch: if a worker dies mid-delivery,
+                # the replay re-applies this batch to the restored state
+                self._log.record_data(name, emissions)
+                self._inject_processes(name, emissions)
+            if pump.exhausted():
+                progressed = True
+                watermark = pump.watermark()
+                if watermark is not None and watermark != math.inf:
+                    self._source_wm.update(name, watermark)
+                    self._final_watermarks.append(watermark)
+                self._finished_sources.add(name)
+                self._source_wm.mark_done(name)
+            else:
+                watermark = pump.watermark()
+                if watermark is not None:
+                    self._source_wm.update(name, watermark)
+        if self._event_time and self._advance_watermark_processes(
+                self._source_wm.merged()):
+            progressed = True
+        if len(self._finished_sources) == len(self._pumps):
+            self._flush_processes()
+            return True
+        self._rounds_since_checkpoint += 1
+        if (progressed and self._log
+                and self._rounds_since_checkpoint >= self.checkpoint_interval):
+            self._checkpoint()
+        return progressed
+
+    def _inject_processes(self, source: str, emissions: Sequence[Emission],
+                          replay: bool = False):
+        """Route one source batch and drive it to quiescence."""
+        if not replay:
+            self.metrics.record_emit(source, 0, len(emissions))
+            self.metrics.record_batch(source, 0)
+        self._drive_processes([(source, emissions)])
+
+    def _drive_processes(self, pending: List[Tuple[str, Sequence[Emission]]]):
+        """Deliver routed waves until no data is in flight anywhere.
+
+        Worker-owned tasks execute remotely (one pipe round-trip per
+        wave, workers in parallel); coordinator-owned sink tasks execute
+        locally so deltas fan out to subscriptions without serializing
+        the sink.  Worker emissions come back raw and are re-routed here
+        -- routing state lives only in the coordinator, so recovery never
+        reconciles diverged per-worker routing.
+        """
+        metrics = self.metrics
+        coalesce = self.batch_size > 1
+        while pending:
+            per_worker: Dict[int, List[WorkItem]] = {}
+            local: List[WorkItem] = []
+            for source, emissions in pending:
+                for item in self._proc_router.route(
+                        source, emissions, coalesce=coalesce):
+                    owner = self._pool.owner(item[0], item[1])
+                    if owner is None:
+                        local.append(item)
+                    else:
+                        per_worker.setdefault(owner, []).append(item)
+            pending = []
+            if per_worker:
+                outputs, deltas = self._pool.execute(per_worker)
+                for emits, receives, batches, paths in deltas:
+                    for name, task_index, count in emits:
+                        metrics.record_emit(name, task_index, count)
+                    for source, target, task_index, count in receives:
+                        metrics.record_receive(source, target, task_index,
+                                               count)
+                    for name, task_index in batches:
+                        metrics.record_batch(name, task_index)
+                    metrics.merge_path_counts(*paths)
+                for component, task_index, emissions in outputs:
+                    pending.append((component, emissions))
+            for target, task_index, source, stream, rows in local:
+                metrics.record_receive(source, target, task_index, len(rows))
+                metrics.record_batch(target, task_index)
+                metrics.record_path(isinstance(rows, ColumnBatch), len(rows))
+                task = self._local_tasks[(target, task_index)]
+                emissions = task.execute_batch(source, stream, rows)
+                if emissions:
+                    metrics.record_emit(target, task_index, len(emissions))
+                    pending.append((target, emissions))
+
+    def _advance_watermark_processes(self, merged: Optional[float],
+                                     replay: bool = False) -> bool:
+        """Broadcast a finite watermark advance to every worker.
+
+        Same monotone/finite guards as the inline executor; the advance
+        is logged *before* the broadcast, so a worker that dies mid-fanout
+        still sees the punctuation once -- global restore rewinds the
+        survivors that already applied it, and the replay re-delivers it
+        to everyone.
+        """
+        if merged is None or merged == math.inf:
+            return False
+        if self._broadcast_wm is not None and merged <= self._broadcast_wm:
+            return False
+        self._broadcast_wm = merged
+        self.stats.record_watermark(merged)
+        if not replay:
+            self._log.record_watermark(merged)
+        outputs = self._pool.broadcast_watermark(merged)
+        expirations = []
+        for component, task_index, emissions in outputs:
+            self.metrics.record_emit(component, task_index, len(emissions))
+            expirations.append((component, emissions))
+        if expirations:
+            self._drive_processes(expirations)
+        return True
+
+    def _flush_processes(self):
+        """End of stream: final punctuation, pre-flush checkpoint, flush.
+
+        The checkpoint right before the flush makes the flush itself
+        recoverable: a worker killed mid-finish rolls everything back to
+        this barrier (empty change log) and the flush simply reruns.
+        """
+        if self._event_time and self._final_watermarks:
+            self._advance_watermark_processes(min(self._final_watermarks))
+        self._checkpoint()
+        for name in self.topology.topological_order():
+            if self.topology.components[name].is_spout:
+                continue
+            if name in self._coordinator_owned:
+                for task_index in range(
+                        self.topology.components[name].parallelism):
+                    emissions = self._local_tasks[(name, task_index)].finish()
+                    if emissions:
+                        self.metrics.record_emit(
+                            name, task_index, len(emissions))
+                        self._drive_processes([(name, emissions)])
+            else:
+                for component, task_index, emissions in \
+                        self._pool.finish_component(name):
+                    self.metrics.record_emit(
+                        component, task_index, len(emissions))
+                    self._drive_processes([(component, emissions)])
+        self._done.set()
+        self._pool.stop()
+
+    # -- checkpoint/recovery protocol --------------------------------------
+
+    def _coordinator_blob(self) -> bytes:
+        """The coordinator's own state for a manifest: sink multisets,
+        the broadcast watermark, and the router's mutable grouping state
+        (shuffle cursors) -- everything the replay path needs rewound."""
+        return pickle.dumps({
+            "sinks": {
+                key: task.counts_snapshot()
+                for key, task in sorted(self._local_tasks.items())
+                if isinstance(task, DeltaSink)
+            },
+            "wm": self._broadcast_wm,
+            "router": self._proc_router.routing_state(),
+        }, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _checkpoint(self):
+        """Commit one epoch at the current quiescent point.
+
+        Workers hash their owned task state and ship only blobs whose
+        digest left the previous manifest (the incremental hash-diff);
+        the change log is truncated afterwards -- its rows are now inside
+        the snapshot.
+        """
+        snapshots = self._pool.checkpoint(self._store.known_digests())
+        result = self._store.commit(
+            self._epoch, snapshots, self._coordinator_blob())
+        self.checkpoints.record_commit(result)
+        self._epoch += 1
+        self._rounds_since_checkpoint = 0
+        self._log.truncate()
+
+    def _recover(self, dead: List[int]):
+        """Exactly-once crash recovery, retried if a replay dies again."""
+        respawned: List[int] = []
+        while True:
+            self._recoveries += 1
+            if self._recoveries > self.max_recoveries:
+                raise ExecutorError(
+                    f"giving up after {self.max_recoveries} worker "
+                    f"recoveries (workers {dead} died); the failure is "
+                    f"not transient"
+                )
+            try:
+                self._recover_once(dead, respawned)
+                return
+            except WorkerDied as death:
+                dead = death.worker_ids
+
+    def _recover_once(self, dead: List[int], respawned: List[int]):
+        """Respawn + global restore + sink rollback + log replay.
+
+        Every worker -- survivor or respawn -- is restored to the latest
+        manifest: survivors may have applied post-checkpoint batches that
+        the replay will re-deliver, so their state must rewind too.  The
+        sink rolls back through compensating deltas (subscriptions stay
+        attached), the router's shuffle cursors rewind so replayed rows
+        land on their original partitions, and the change log re-applies
+        the delta stream without re-logging it.
+        """
+        dead = sorted(set(dead) | set(self._pool.reap_dead()))
+        respawned.extend(dead)
+        manifest = self._store.latest()
+        if manifest is None:
+            # death raced the epoch-0 commit: nothing has executed, so a
+            # fresh fork *is* the correct state
+            self._pool.respawn(dead)
+            self.checkpoints.record_recovery(list(respawned), 0, 0)
+            return
+        self._pool.respawn(dead)
+        self._pool.restore(self._store.restore_set(manifest))
+        coordinator = pickle.loads(manifest.coordinator)
+        for key, counts in coordinator["sinks"].items():
+            self._local_tasks[key].rollback(counts)
+        self._broadcast_wm = coordinator["wm"]
+        self._proc_router.restore_routing_state(coordinator["router"])
+        replayed_entries = replayed_rows = 0
+        for entry in self._log.replay():
+            if entry[0] == _LOG_DATA:
+                _kind, source, emissions = entry
+                replayed_entries += 1
+                replayed_rows += len(emissions)
+                self._inject_processes(source, emissions, replay=True)
+            else:
+                self._advance_watermark_processes(entry[1], replay=True)
+        self.checkpoints.record_recovery(list(respawned), replayed_entries,
+                                         replayed_rows)
 
     # -- threads executor --------------------------------------------------
 

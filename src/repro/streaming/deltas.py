@@ -31,7 +31,7 @@ import threading
 import time
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Iterator, List, Optional
 
 
 from repro.core.columnar import ColumnBatch
@@ -65,14 +65,37 @@ class SubscriberOverflow(RuntimeError):
 class Subscription:
     """An ordered feed of one sink's deltas, optionally bounded.
 
-    Iterating blocks until the next delta (or end of query); ``pop`` is
-    the non-blocking form the inline driver uses between pump rounds.
+    Iterating blocks until the next delta (or end of query); :meth:`pop`
+    is the non-blocking form the inline driver uses between pump rounds.
 
-    With ``max_buffer`` set, the feed is a bounded ring: when the
-    consumer falls ``max_buffer`` deltas behind, ``on_overflow`` decides
-    between shedding this subscriber (default; terminal
-    :class:`SubscriberOverflow`) and blocking the publisher
-    (backpressure).  ``max_buffer=None`` keeps the legacy unbounded feed.
+    Args:
+        max_buffer: bounded-ring capacity; ``None`` keeps the legacy
+            unbounded feed.
+        on_overflow: what happens when the consumer falls ``max_buffer``
+            deltas behind -- ``'shed'`` (default) detaches this
+            subscriber with a terminal :class:`SubscriberOverflow` and
+            never stalls the pipeline; ``'block'`` backpressures the
+            publisher instead.
+        tenant: the tenant the serving counters attribute this feed to.
+        track_latency: record publish-to-pop latencies (exposed through
+            the serving stats).
+        on_detach: callback invoked once when the subscription detaches
+            (shed, closed, or query end).
+
+    Raises:
+        ValueError: on ``max_buffer < 1`` or an unknown ``on_overflow``.
+        SubscriberOverflow: from iteration, after the ring overflowed
+            under ``on_overflow='shed'``.
+
+    Example::
+
+        from repro.streaming.deltas import DeltaSink
+
+        sink = DeltaSink()
+        feed = sink.subscribe()
+        sink.execute_batch("J", "J", [(1,), (2,)])
+        assert feed.pop().row == (1,)      # deltas arrive in order
+        assert feed.pop().sign == +1       # insertions carry sign +1
     """
 
     def __init__(self, max_buffer: Optional[int] = None,
@@ -301,6 +324,46 @@ class DeltaSink(Bolt):
                         self.shed_count += 1
             for subscription in dead:
                 subscription._fire_detach()
+
+    def counts_snapshot(self) -> Dict[tuple, int]:
+        """The result multiset as ``{row: count}`` -- the sink's state in
+        a checkpoint's coordinator blob (the sink itself stays in the
+        coordinator process and is never pickled whole: subscriptions
+        hold live condition variables)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def rollback(self, counts: Dict[tuple, int]) -> int:
+        """Reset the multiset to a checkpointed state; returns the number
+        of compensating deltas published.
+
+        Crash recovery rolls the sink back to the last consistent
+        snapshot before replaying the post-checkpoint stream.  Open
+        subscriptions are *not* torn down: they receive compensating
+        ``-row``/``+row`` deltas (retractions first, rows in sorted
+        order) whose net effect is exactly the rollback, so a
+        subscriber's folded view stays convergent -- it may transiently
+        observe the rewind, but never a wrong final multiset.
+        """
+        target = Counter(counts)
+        deltas: List[Delta] = []
+        with self._lock:
+            current = self._counts
+            for row in sorted(set(current) | set(target), key=repr):
+                diff = target[row] - current[row]
+                if diff < 0:
+                    deltas.extend([Delta(-1, row)] * -diff)
+            for row in sorted(set(current) | set(target), key=repr):
+                diff = target[row] - current[row]
+                if diff > 0:
+                    deltas.extend([Delta(1, row)] * diff)
+            self._counts = Counter(
+                {row: count for row, count in target.items() if count > 0})
+            self.delta_count += len(deltas)
+            subscriptions = list(self._subscriptions)
+        if subscriptions and deltas:
+            self._fan_out(subscriptions, deltas)
+        return len(deltas)
 
     def finish(self):
         """End of query: close every subscription."""

@@ -184,7 +184,9 @@ def stream_plan(plan: PhysicalPlan, batch_size: Optional[int] = None,
                 ts_positions: Optional[Dict[str, int]] = None,
                 clock: Callable[[], float] = time.monotonic,
                 columnar: Optional[bool] = None,
-                options: Optional[ExecutionOptions] = None
+                options: Optional[ExecutionOptions] = None,
+                fault_injector=None,
+                checkpoint_dir: Optional[str] = None
                 ) -> "StreamingQuery":
     """Compile a physical plan into a continuously running query.
 
@@ -197,6 +199,17 @@ def stream_plan(plan: PhysicalPlan, batch_size: Optional[int] = None,
     while ``run_plan`` defaulted it on; both now go through
     ``ExecutionOptions.resolve``).  The streaming default batch size is
     64.
+
+    ``options.executor='processes'`` runs the query on resident forked
+    workers with incremental checkpointing and crash recovery
+    (``options.parallelism`` workers, a checkpoint every
+    ``options.checkpoint_interval`` pump rounds; see
+    ``docs/FAULT_TOLERANCE.md``).  ``fault_injector`` arms deterministic
+    worker kills (:class:`~repro.storm.failures.FaultInjector`) and
+    ``checkpoint_dir`` persists snapshots to disk; both are
+    processes-executor extras.  The ``inline`` and ``threads`` executors
+    have no parallelism knob -- threads already runs every task in its
+    own worker thread.
 
     By default every source relation is replayed through a
     :class:`ReplaySource` at ``rate`` rows per second (None = as fast as
@@ -217,12 +230,12 @@ def stream_plan(plan: PhysicalPlan, batch_size: Optional[int] = None,
     resolved = merge_options(options, dict(
         batch_size=batch_size, executor=executor, rate=rate,
         columnar=columnar)).resolve(default_batch_size=64)
-    if resolved.parallelism is not None:
+    if resolved.parallelism is not None and resolved.executor != "processes":
         raise ExecutorError(
-            "the streaming runtime has no parallelism knob: "
-            "executor='threads' runs every task in its own worker thread "
-            "(drop parallelism=, or use the finite engine for the staged "
-            "backends)"
+            "parallelism only applies to the streaming 'processes' "
+            "executor: 'inline' is single-threaded and 'threads' runs "
+            "every task in its own worker thread (drop parallelism=, or "
+            "set executor='processes')"
         )
     topology, partitioners = build_topology(
         plan,
@@ -248,6 +261,9 @@ def stream_plan(plan: PhysicalPlan, batch_size: Optional[int] = None,
         topology, pumps, batch_size=resolved.batch_size,
         executor=resolved.executor, queue_capacity=queue_capacity,
         source_operators=operators, clock=clock, columnar=resolved.columnar,
+        parallelism=resolved.parallelism,
+        checkpoint_interval=resolved.checkpoint_interval,
+        checkpoint_dir=checkpoint_dir, fault_injector=fault_injector,
     )
     return StreamingQuery(cluster, partitioner_info={
         name: partitioner.describe()
@@ -335,3 +351,17 @@ class StreamingQuery:
     def stats(self) -> Dict[str, object]:
         """Live throughput / watermark / lag snapshot."""
         return self.cluster.stats_snapshot()
+
+    def checkpoint_stats(self) -> Dict[str, object]:
+        """Checkpoint/recovery counters (processes executor; zeros
+        elsewhere): commits, partitions persisted vs. skipped by the
+        hash-diff, bytes written, recoveries and replayed rows."""
+        return self.cluster.checkpoints.snapshot()
+
+    def worker_pids(self) -> Dict[int, Optional[int]]:
+        """Resident worker pids by worker id (processes executor; empty
+        before the first pump round and under the other executors).
+        Chaos-testing surface: ``os.kill(pid, signal.SIGKILL)`` one of
+        these mid-run and watch :meth:`checkpoint_stats` count the
+        recovery while the query converges to the same snapshot."""
+        return self.cluster.worker_pids()

@@ -1,8 +1,18 @@
 """Tests for scheme-aware fault tolerance (paper section 5)."""
 
 
+import signal
+
+import pytest
+
 from repro.partitioning import HashHypercube, RandomHypercube
-from repro.storm.failures import ReplicatedStateTracker, checkpoint_plan
+from repro.storm.failures import (
+    FaultInjector,
+    ReplicatedStateTracker,
+    WorkerKill,
+    checkpoint_plan,
+    recovery_strategy,
+)
 
 from tests.conftest import make_rst_data
 
@@ -91,3 +101,38 @@ class TestCheckpointPlan:
         partitioner = HashHypercube.build(rst_spec, 64)
         flagged = [rel for rel, needed in checkpoint_plan(partitioner).items() if needed]
         assert flagged == ["S"]
+
+
+class TestRecoveryStrategy:
+    def test_names_a_mechanism_per_relation(self, rst_spec):
+        partitioner = HashHypercube.build(rst_spec, 64)
+        assert recovery_strategy(partitioner) == {
+            "R": "peer", "S": "checkpoint", "T": "peer"}
+
+    def test_full_replication_means_all_peer(self, rst_spec):
+        partitioner = RandomHypercube.build(rst_spec, 64)
+        strategy = recovery_strategy(partitioner)
+        assert set(strategy.values()) == {"peer"}
+
+
+class TestFaultInjector:
+    def test_kill_plan_resolves_partitions_to_owning_workers(self):
+        injector = (FaultInjector()
+                    .kill_worker_of("J", 0, after_batches=2)
+                    .kill_worker_of("J", 1, after_batches=5)
+                    .kill_worker_of("agg", 0))
+        assignment = {("J", 0): 0, ("J", 1): 1, ("agg", 0): 0}
+        assert injector.kill_plan(assignment) == {
+            0: [(2, signal.SIGKILL), (1, signal.SIGKILL)],
+            1: [(5, signal.SIGKILL)],
+        }
+
+    def test_coordinator_owned_partition_is_rejected(self):
+        injector = FaultInjector([WorkerKill("sink", 0)])
+        with pytest.raises(ValueError, match="coordinator"):
+            injector.kill_plan({("J", 0): 0})
+
+    def test_constructor_accepts_prebuilt_specs(self):
+        kills = [WorkerKill("J", 2, after_batches=3)]
+        assert FaultInjector(kills).kill_plan({("J", 2): 4}) == {
+            4: [(3, signal.SIGKILL)]}

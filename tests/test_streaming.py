@@ -302,8 +302,8 @@ class TestStreamMetrics:
 class TestStreamingClusterValidation:
     def test_unknown_executor_rejected(self):
         plan = sliding_agg_plan(make_events(10))
-        with pytest.raises(ExecutorError, match="processes"):
-            stream_plan(plan, executor="processes")
+        with pytest.raises(ExecutorError, match="fibers"):
+            stream_plan(plan, executor="fibers")
 
     def test_threads_refuse_adaptive_partitioners(self):
         from repro.core.predicates import EquiCondition, JoinSpec, RelationInfo
