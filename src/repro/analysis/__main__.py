@@ -1,0 +1,71 @@
+"""``python -m repro.analysis`` -- the squall-lint command line.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.core import RULES, analyze_paths, default_checkers
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=("squall-lint: domain-specific static analysis for "
+                     "lock discipline, pickle safety, checkpoint "
+                     "completeness, and determinism"))
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)")
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)")
+    parser.add_argument(
+        "--rules", default=None, metavar="RULE[,RULE]",
+        help="comma-separated subset of rules to run")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for checker in default_checkers():
+            print(f"{checker.rule}: {checker.description}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [rule.strip() for rule in args.rules.split(",")
+                 if rule.strip()]
+        unknown = sorted(set(rules) - set(RULES))
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(unknown)}; "
+                  f"known: {', '.join(RULES)}", file=sys.stderr)
+            return 2
+
+    try:
+        report = analyze_paths(args.paths, rules=rules)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        print(report.summary())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""The individual squall-lint checkers (one module per rule family)."""

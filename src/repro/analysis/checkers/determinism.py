@@ -1,0 +1,152 @@
+"""Determinism checker.
+
+The equivalence suites pin byte-identical results across batch sizes,
+executors, and row/columnar dataplanes.  Operator kernels therefore must
+be deterministic functions of their input batches.  This checker flags
+the classic leaks inside pipe-reachable classes (bolts, spouts,
+groupings, partitioners, join operators):
+
+- iterating an unordered ``set``/``frozenset`` where the iteration
+  order can feed emissions or routing (``sorted(...)`` around it is the
+  fix; plain dicts are insertion-ordered and fine);
+- wall-clock reads: ``time.time()``, ``time.time_ns()``,
+  ``datetime.now()`` -- note ``time.monotonic()`` is allowed, it is the
+  blessed way to measure latency in metrics;
+- ``random`` module calls (an explicitly seeded ``random.Random(seed)``
+  instance is fine -- the module-level functions share hidden global
+  state across workers);
+- ``id()``-derived values: CPython addresses differ per process, so ids
+  must never reach routing keys or emitted rows.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.core import (
+    Checker,
+    ClassInfo,
+    Corpus,
+    Finding,
+    ModuleInfo,
+    dotted_name,
+    resolve_call,
+)
+from repro.analysis.checkers.pickles import pipe_classes
+
+#: wall-clock call targets (module, name)
+_WALL_CLOCK = {
+    ("time", "time"), ("time", "time_ns"),
+}
+
+#: dotted suffixes that read the wall clock through datetime
+_DATETIME_SUFFIXES = ("datetime.now", "datetime.utcnow", "date.today")
+
+
+class DeterminismChecker(Checker):
+    rule = "determinism"
+    description = ("operator kernels must be deterministic: no unordered "
+                   "set iteration, wall-clock, random, or id()")
+
+    def check(self, corpus: Corpus) -> Iterable[Finding]:
+        for cls in pipe_classes(corpus):
+            module = cls.module
+            for method_name, func in cls.methods.items():
+                if method_name in ("__init__", "__repr__"):
+                    continue
+                yield from self._check_method(module, cls, method_name, func)
+
+    def _check_method(self, module: ModuleInfo, cls: ClassInfo,
+                      method_name: str,
+                      func: ast.FunctionDef) -> Iterable[Finding]:
+        where = f"{cls.name}.{method_name}()"
+        for node in ast.walk(func):
+            iterable = _unordered_iter(node)
+            if iterable is not None:
+                yield Finding(
+                    path=module.path, line=iterable.lineno,
+                    col=iterable.col_offset, rule=self.rule,
+                    message=(
+                        f"{where} iterates an unordered set -- iteration "
+                        f"order varies across processes and breaks "
+                        f"byte-identical batch parity; wrap it in "
+                        f"sorted(...) or keep the data in an "
+                        f"insertion-ordered dict/list"))
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolve_call(module, node.func)
+            if resolved in _WALL_CLOCK:
+                yield Finding(
+                    path=module.path, line=node.lineno,
+                    col=node.col_offset, rule=self.rule,
+                    message=(
+                        f"{where} reads the wall clock "
+                        f"({resolved[1]}()); replayed batches after a "
+                        f"recovery see a different value -- derive times "
+                        f"from event time / watermarks, or use "
+                        f"time.monotonic() for pure metrics"))
+                continue
+            name = dotted_name(node.func)
+            if name is not None and name.endswith(_DATETIME_SUFFIXES):
+                yield Finding(
+                    path=module.path, line=node.lineno,
+                    col=node.col_offset, rule=self.rule,
+                    message=(
+                        f"{where} reads the wall clock ({name}()); "
+                        f"derive times from event time instead"))
+                continue
+            if resolved is not None and resolved[0] == "random" \
+                    and resolved[1] != "Random":
+                yield Finding(
+                    path=module.path, line=node.lineno,
+                    col=node.col_offset, rule=self.rule,
+                    message=(
+                        f"{where} calls random.{resolved[1]}() -- the "
+                        f"module-level RNG is shared hidden state; use a "
+                        f"seeded random.Random(seed) instance carried in "
+                        f"checkpointed state"))
+                continue
+            if resolved == ("builtins", "id"):
+                yield Finding(
+                    path=module.path, line=node.lineno,
+                    col=node.col_offset, rule=self.rule,
+                    message=(
+                        f"{where} uses id() -- CPython object addresses "
+                        f"differ across processes and runs; id()-derived "
+                        f"values must never reach routing keys or "
+                        f"emitted rows"))
+
+
+def _unordered_iter(node: ast.AST) -> Optional[ast.expr]:
+    """The iterable expression if ``node`` iterates an unordered set."""
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        if _is_setlike(node.iter):
+            return node.iter
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                           ast.GeneratorExp)):
+        for gen in node.generators:
+            if _is_setlike(gen.iter):
+                return gen.iter
+    return None
+
+
+def _is_setlike(node: ast.expr) -> bool:
+    """Whether an expression produces an unordered set.
+
+    ``sorted(set(...))`` is fine -- ``sorted`` restores a total order --
+    so only the *direct* iterable matters.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        return _is_setlike(node.left) or _is_setlike(node.right)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr in ("union", "intersection", "difference",
+                                   "symmetric_difference"):
+        return _is_setlike(node.func.value)
+    return False

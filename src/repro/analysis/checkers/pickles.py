@@ -1,0 +1,150 @@
+"""Pickle-safety checker.
+
+Classes that ride the ``processes`` executor's pipes -- bolts, spouts,
+groupings, partitioners, join operators, and anything opted in with
+``PIPE_PICKLED = True`` -- are pickled whole when a topology is staged
+or a worker is respawned.  Assigning a lambda, a closure over a local
+function, a generator, a ``threading`` primitive, or an open file handle
+to ``self`` makes that pickle fail at runtime, which historically
+surfaced as the "unpicklable bolt state" refusal deep inside worker
+startup (the Selection/Projection closure bug, fixed by giving them
+``__getstate__``/``__setstate__``).
+
+This checker promotes that refusal to a static diagnostic: any target
+class that stores such a value and defines no pickle protocol hook is an
+error.  A class that is never shipped whole (coordinator-owned, like
+``DeltaSink``) declares ``PIPE_PICKLED = False`` to opt out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.core import (
+    Checker,
+    ClassInfo,
+    Corpus,
+    Finding,
+    resolve_call,
+)
+
+#: corpus base classes whose subclasses cross the process pipes
+PIPE_ROOTS = {"Bolt", "Spout", "Grouping", "Partitioner", "LocalJoin"}
+
+#: defining any of these means the class controls its own pickled form
+PICKLE_HOOKS = ("__getstate__", "__reduce__", "__reduce_ex__")
+
+#: call targets whose results can never be pickled
+_UNPICKLABLE_CALLS = {
+    ("threading", "Lock"): "a threading.Lock",
+    ("threading", "RLock"): "a threading.RLock",
+    ("threading", "Condition"): "a threading.Condition",
+    ("threading", "Event"): "a threading.Event",
+    ("threading", "Semaphore"): "a threading.Semaphore",
+    ("threading", "BoundedSemaphore"): "a threading.BoundedSemaphore",
+    ("threading", "Barrier"): "a threading.Barrier",
+    ("threading", "local"): "thread-local storage",
+    ("builtins", "open"): "an open file handle",
+    ("io", "open"): "an open file handle",
+    ("socket", "socket"): "a socket",
+    ("subprocess", "Popen"): "a subprocess handle",
+    ("multiprocessing", "Pipe"): "a multiprocessing pipe",
+    ("multiprocessing", "Queue"): "a multiprocessing queue",
+    ("queue", "Queue"): "a queue.Queue (carries an internal lock)",
+    ("queue", "SimpleQueue"): "a queue.SimpleQueue",
+    ("queue", "LifoQueue"): "a queue.LifoQueue",
+    ("queue", "PriorityQueue"): "a queue.PriorityQueue",
+}
+
+
+def pipe_classes(corpus: Corpus) -> List[ClassInfo]:
+    """Every class the processes executor may pickle whole."""
+    targets = {id(cls): cls for cls in corpus.subclasses(PIPE_ROOTS)}
+    for module in corpus.modules:
+        for cls in module.classes:
+            if cls.pipe_pickled is True:
+                targets.setdefault(id(cls), cls)
+    return [cls for cls in targets.values() if cls.pipe_pickled is not False]
+
+
+class PickleSafetyChecker(Checker):
+    rule = "pickle-safety"
+    description = ("classes shipped over process pipes must not hold "
+                   "unpicklable state without a __getstate__")
+
+    def check(self, corpus: Corpus) -> Iterable[Finding]:
+        for cls in pipe_classes(corpus):
+            if cls.defines_any(PICKLE_HOOKS):
+                continue
+            if corpus.ancestry_defines_any(cls, PICKLE_HOOKS, PIPE_ROOTS):
+                continue
+            for method_name, func in cls.methods.items():
+                nested_defs = _nested_def_names(func)
+                for node in ast.walk(func):
+                    targets: List[ast.expr] = []
+                    value: Optional[ast.expr] = None
+                    if isinstance(node, ast.Assign):
+                        targets, value = node.targets, node.value
+                    elif isinstance(node, ast.AnnAssign) and node.value:
+                        targets, value = [node.target], node.value
+                    if value is None:
+                        continue
+                    for target in _flatten_targets(targets):
+                        attr = _self_attr(target)
+                        if attr is None:
+                            continue
+                        what = _unpicklable(cls, value, nested_defs)
+                        if what is None:
+                            continue
+                        yield Finding(
+                            path=cls.module.path, line=node.lineno,
+                            col=node.col_offset, rule=self.rule,
+                            message=(
+                                f"'{cls.name}.{attr}' is assigned {what} "
+                                f"in {method_name}(), but {cls.name} is "
+                                f"shipped over the processes pipes and "
+                                f"defines no __getstate__; add a "
+                                f"__getstate__/__setstate__ pair, or mark "
+                                f"the class `PIPE_PICKLED = False` if it "
+                                f"never crosses a pipe"))
+
+
+def _flatten_targets(targets: Iterable[ast.expr]) -> Iterable[ast.expr]:
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            yield from _flatten_targets(target.elts)
+        else:
+            yield target
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _nested_def_names(func: ast.FunctionDef) -> Set[str]:
+    return {node.name for node in ast.walk(func)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not func}
+
+
+def _unpicklable(cls: ClassInfo, value: ast.expr,
+                 nested_defs: Set[str]) -> Optional[str]:
+    if isinstance(value, ast.Lambda):
+        return "a lambda"
+    if isinstance(value, ast.GeneratorExp):
+        return "a generator expression"
+    if isinstance(value, ast.Name) and value.id in nested_defs:
+        return f"the locally defined function '{value.id}' (a closure)"
+    if isinstance(value, ast.Call):
+        resolved = resolve_call(cls.module, value.func)
+        if resolved in _UNPICKLABLE_CALLS:
+            return _UNPICKLABLE_CALLS[resolved]  # type: ignore[index]
+        if (isinstance(value.func, ast.Name)
+                and value.func.id in nested_defs):
+            return (f"the locally defined function "
+                    f"'{value.func.id}' (a closure)")
+    return None

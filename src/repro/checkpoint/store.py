@@ -109,6 +109,13 @@ class CheckpointStore:
     garbage-collected down to the set it references.
     """
 
+    #: squall-lint lock-discipline contract: blob map and manifest only
+    #: move under the store lock (commit vs. concurrent serving reads)
+    GUARDED_BY = {
+        "_blobs": "_lock",
+        "_manifest": "_lock",
+    }
+
     def __init__(self, directory: Optional[str] = None):
         self._lock = threading.Lock()
         self._blobs: Dict[str, bytes] = {}
@@ -166,7 +173,7 @@ class CheckpointStore:
             self._collect_garbage()
         return result
 
-    def _collect_garbage(self):
+    def _collect_garbage(self):  # squall-lint: holds=_lock
         """Drop blobs the latest manifest no longer references."""
         live = set(self._manifest.digests.values())
         for digest in [d for d in self._blobs if d not in live]:

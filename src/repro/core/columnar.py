@@ -153,7 +153,7 @@ class ColumnBatch:
                 return False
         return True
 
-    __hash__ = None  # mutable container
+    __hash__ = None  # type: ignore[assignment]  # mutable container
 
     def __repr__(self) -> str:
         return (f"ColumnBatch({self.length} rows x {len(self.columns)} cols, "

@@ -321,7 +321,9 @@ class Optimizer:
         group_positions = [projected_index[name] for name in group_cols]
         aggregates = []
         for item in logical.aggregates:
-            if item.kind == "count":
+            if item.kind == "count" or item.column is None:
+                # AggItem.__post_init__ guarantees non-count items carry a
+                # column, so the None arm only ever matches COUNT(*)
                 aggregates.append(AggregateSpec("count"))
             else:
                 aggregates.append(
@@ -374,7 +376,7 @@ class Optimizer:
             ]
             aggregates = []
             for item in logical.aggregates:
-                if item.kind == "count":
+                if item.kind == "count" or item.column is None:
                     aggregates.append(AggregateSpec("count"))
                 else:
                     aggregates.append(

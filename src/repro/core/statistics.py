@@ -72,7 +72,7 @@ class SpaceSaving:
             self._counts[key] = weight
             self._errors[key] = 0
             return
-        victim = min(self._counts, key=self._counts.get)
+        victim = min(self._counts, key=self._counts.__getitem__)
         victim_count = self._counts.pop(victim)
         self._errors.pop(victim)
         self._counts[key] = victim_count + weight

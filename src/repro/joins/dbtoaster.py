@@ -487,6 +487,9 @@ class DBToasterJoin(LocalJoin):
                     keys = list(zip(*(batch_cols[p].tolist()
                                       for p in key_prober)))
                 key_cache[key_prober] = keys
+            # id() keys a per-batch memo dict only -- the identity never
+            # reaches routing or emitted rows, and the cache dies with
+            # the batch.  # squall-lint: disable=determinism
             cache_key = (id(cview), key_flat, key_prober)
             buckets = bucket_cache.get(cache_key)
             if buckets is None:

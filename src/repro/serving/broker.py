@@ -187,6 +187,13 @@ class QueryBroker:
     for both (torn down when the last subscriber detaches).
     """
 
+    #: squall-lint lock-discipline contract: registry and quota counters
+    #: only move under the broker RLock
+    GUARDED_BY = {
+        "_registry": "_lock",
+        "_tenant_active": "_lock",
+    }
+
     def __init__(self, max_topologies: int = 8,
                  max_subscribers_per_topology: int = 1024,
                  max_subscribers_per_tenant: int = 1024,
@@ -284,7 +291,7 @@ class QueryBroker:
             )
         return BrokerSubscription(self, resident, subscription)
 
-    def _check_tenant(self, tenant: str):
+    def _check_tenant(self, tenant: str):  # squall-lint: holds=_lock
         if (self._tenant_active.get(tenant, 0)
                 >= self.max_subscribers_per_tenant):
             self.metrics.record(tenant, "refused")
@@ -292,7 +299,8 @@ class QueryBroker:
                 f"tenant {tenant!r} at its quota "
                 f"({self.max_subscribers_per_tenant} active subscriptions)")
 
-    def _admit(self, plan: PhysicalPlan, fingerprint: str,
+    def _admit(self, plan: PhysicalPlan,  # squall-lint: holds=_lock
+               fingerprint: str,
                ts_positions: Optional[Dict[str, int]],
                resolved: ExecutionOptions,
                sources: Optional[Dict[str, PushSource]]) -> ResidentTopology:

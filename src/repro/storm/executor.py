@@ -233,6 +233,11 @@ MetricDeltas = Tuple[List[tuple], List[tuple], List[tuple], List[int]]
 class WorkerState:
     """Everything one shared-nothing worker owns: tasks + routing state."""
 
+    #: forked into (and for resident workers, shipped to) worker
+    #: processes whole -- opt into squall-lint's pickle-safety and
+    #: determinism rules even though this is not a Bolt subclass
+    PIPE_PICKLED = True
+
     def __init__(self, worker_id: int, topology: Topology,
                  tasks: Dict[str, List[object]],
                  assignment: Dict[Tuple[str, int], int], batch_size: int):
@@ -601,6 +606,10 @@ class ResidentWorkerState:
     executed that many micro-batches *in this incarnation*, it SIGKILLs
     itself mid-protocol -- the test harness for the recovery path.
     """
+
+    #: shipped whole to freshly spawned workers on respawn -- opt into
+    #: squall-lint's pickle-safety and determinism rules
+    PIPE_PICKLED = True
 
     def __init__(self, worker_id: int, owned: Dict[Tuple[str, int], object],
                  kill_after: Optional[List[Tuple[int, int]]] = None):

@@ -163,6 +163,16 @@ class StreamMetrics:
     record concurrently.
     """
 
+    #: squall-lint lock-discipline contract: the rolling counters only
+    #: move under the metrics lock (pump thread vs. \watch reader)
+    GUARDED_BY = {
+        "_events": "_lock",
+        "total_events": "_lock",
+        "watermark": "_lock",
+        "watermark_updated_at": "_lock",
+        "max_event_time": "_lock",
+    }
+
     def __init__(self, clock=time.monotonic, horizon: float = 5.0):
         self._clock = clock
         self.horizon = horizon
@@ -194,7 +204,7 @@ class StreamMetrics:
                 self.watermark = watermark
                 self.watermark_updated_at = self._clock()
 
-    def _prune(self, now: float):
+    def _prune(self, now: float):  # squall-lint: holds=_lock
         horizon = now - self.horizon
         events = self._events
         while events and events[0][0] < horizon:
@@ -239,13 +249,19 @@ class StreamMetrics:
 
         The streaming cluster's ``stats_snapshot`` adds a ``deltas``
         entry read off its sinks."""
-        return {
-            "events": self.total_events,
-            "events_per_sec": round(self.events_per_second(), 1),
-            "watermark": self.watermark,
-            "event_time_lag": self.event_time_lag(),
-            "uptime_sec": round(self._clock() - self.started_at, 3),
-        }
+        # the derived views take the (non-reentrant) lock themselves, so
+        # compute them before entering it; the raw counters are then read
+        # together rather than torn across a concurrent record_events
+        events_per_sec = round(self.events_per_second(), 1)
+        event_time_lag = self.event_time_lag()
+        with self._lock:
+            return {
+                "events": self.total_events,
+                "events_per_sec": events_per_sec,
+                "watermark": self.watermark,
+                "event_time_lag": event_time_lag,
+                "uptime_sec": round(self._clock() - self.started_at, 3),
+            }
 
 
 class CheckpointMetrics:
@@ -261,6 +277,20 @@ class CheckpointMetrics:
     full operator state.  Thread-safe: the serving layer may snapshot
     while the coordinator commits.
     """
+
+    #: squall-lint lock-discipline contract
+    GUARDED_BY = {
+        "commits": "_lock",
+        "last_epoch": "_lock",
+        "partitions_persisted": "_lock",
+        "partitions_skipped": "_lock",
+        "bytes_persisted": "_lock",
+        "last_commit_bytes": "_lock",
+        "recoveries": "_lock",
+        "workers_respawned": "_lock",
+        "replayed_entries": "_lock",
+        "replayed_rows": "_lock",
+    }
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -341,11 +371,14 @@ class ServingMetrics:
 
     _COUNTERS = ("admitted", "refused", "shed", "detached", "published")
 
+    #: squall-lint lock-discipline contract
+    GUARDED_BY = {"_tenants": "_lock"}
+
     def __init__(self):
         self._lock = threading.Lock()
         self._tenants: Dict[str, Dict[str, int]] = {}
 
-    def _bucket(self, tenant: str) -> Dict[str, int]:
+    def _bucket(self, tenant: str) -> Dict[str, int]:  # squall-lint: holds=_lock
         bucket = self._tenants.get(tenant)
         if bucket is None:
             bucket = self._tenants[tenant] = {

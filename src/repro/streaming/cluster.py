@@ -147,6 +147,13 @@ class StreamingCluster:
     current result multiset.
     """
 
+    #: squall-lint lock-discipline contract: worker threads report
+    #: failures concurrently with the pump reading them.  (Metrics
+    #: recording is also under ``_lock`` in threads mode, but only
+    #: there -- the inline executor records unlocked by design, so the
+    #: metrics objects cannot be declared here.)
+    GUARDED_BY = {"_worker_error": "_lock"}
+
     def __init__(self, topology: Topology, sources: Dict[str, PushSource],
                  batch_size: int = 64, executor: str = "inline",
                  queue_capacity: int = 128,
@@ -834,7 +841,8 @@ class StreamingCluster:
                     thread.join()
         except Exception:  # pragma: no cover - defensive
             import traceback
-            self._worker_error.append(traceback.format_exc())
+            with self._lock:
+                self._worker_error.append(traceback.format_exc())
         finally:
             self._done.set()
 
@@ -920,12 +928,15 @@ class StreamingCluster:
                     return
         except Exception:
             import traceback
-            self._worker_error.append(
-                f"worker {name}[{task_index}] failed:\n"
-                + traceback.format_exc())
+            with self._lock:
+                self._worker_error.append(
+                    f"worker {name}[{task_index}] failed:\n"
+                    + traceback.format_exc())
             self._done.set()
 
     def _raise_worker_error(self):
-        if self._worker_error:
+        with self._lock:
+            errors = list(self._worker_error)
+        if errors:
             raise ExecutorError(
-                "streaming worker failed:\n" + "\n".join(self._worker_error))
+                "streaming worker failed:\n" + "\n".join(errors))

@@ -98,6 +98,18 @@ class Subscription:
         assert feed.pop().sign == +1       # insertions carry sign +1
     """
 
+    #: squall-lint lock-discipline contract: ring state is only touched
+    #: while holding the condition (the PR 7 subscribe/fan-out race class)
+    GUARDED_BY = {
+        "_deltas": "_cond",
+        "_closed": "_cond",
+        "_overflowed": "_cond",
+        "_detached": "_cond",
+        "published": "_cond",
+        "delivered": "_cond",
+        "latencies": "_cond",
+    }
+
     def __init__(self, max_buffer: Optional[int] = None,
                  on_overflow: str = "shed", tenant: str = "default",
                  track_latency: bool = False,
@@ -265,6 +277,20 @@ class DeltaSink(Bolt):
     ring, and subscriptions that report themselves dead (shed, closed,
     detached) are dropped from the fan-out list on the spot.
     """
+
+    #: coordinator-owned: checkpoints snapshot the multiset via
+    #: counts_snapshot(); the sink object itself (live condition
+    #: variables and all) never crosses a process pipe
+    PIPE_PICKLED = False
+
+    #: squall-lint lock-discipline contract for the fan-out state
+    GUARDED_BY = {
+        "_counts": "_lock",
+        "_subscriptions": "_lock",
+        "delta_count": "_lock",
+        "shed_count": "_lock",
+        "completed": "_lock",
+    }
 
     def __init__(self):
         self._counts: Counter = Counter()

@@ -1,0 +1,62 @@
+# ruff: noqa
+"""Seeded reconstruction of the uncheckpointed-routing-field bug.
+
+A shuffle grouping's round-robin cursor advances on every routed batch;
+if it is not captured by routing_state()/restore_routing_state(), a
+recovered worker restarts the cursor at 0 and the replayed deltas land
+on different tasks than the original delivery -- exactly-once recovery
+silently breaks.  Part 2: a __getstate__ that drops a key which
+__setstate__ never restores loses the attribute on every recovery.
+"""
+
+
+class Grouping:
+    """Stand-in for the routing base class (resolved by name)."""
+
+    def routing_state(self):
+        return None
+
+    def restore_routing_state(self, state):
+        pass
+
+
+class ForgetfulShuffle(Grouping):
+    def __init__(self):
+        self._next = 0
+
+    def targets(self, stream, values, n_tasks):
+        target = self._next % n_tasks
+        self._next += 1
+        return [target]
+
+
+class PartialShuffle(Grouping):
+    """Captures one of its two mutable fields -- the other is lost."""
+
+    def __init__(self):
+        self._next = 0
+        self._routed = 0
+
+    def routing_state(self):
+        return self._next
+
+    def restore_routing_state(self, state):
+        self._next = state
+
+    def targets(self, stream, values, n_tasks):
+        target = self._next % n_tasks
+        self._next += 1
+        self._routed += 1
+        return [target]
+
+
+class LossyOperator:
+    def __init__(self, rows):
+        self.rows = rows
+        self._cache = {}
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_cache"]
+        return state
+    # BUG: no __setstate__ -- every recovered instance lacks _cache

@@ -1,0 +1,45 @@
+# ruff: noqa
+"""The checkpoint-complete versions: the cursor rides routing_state
+(what ShuffleGrouping does) and the dropped pickle key is rebuilt in
+__setstate__ (what Selection does)."""
+
+
+class Grouping:
+    """Stand-in for the routing base class (resolved by name)."""
+
+    def routing_state(self):
+        return None
+
+    def restore_routing_state(self, state):
+        pass
+
+
+class CheckpointedShuffle(Grouping):
+    def __init__(self):
+        self._next = 0
+
+    def routing_state(self):
+        return self._next
+
+    def restore_routing_state(self, state):
+        self._next = state
+
+    def targets(self, stream, values, n_tasks):
+        target = self._next % n_tasks
+        self._next += 1
+        return [target]
+
+
+class RestoringOperator:
+    def __init__(self, rows):
+        self.rows = rows
+        self._cache = {}
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_cache"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._cache = {}

@@ -1,0 +1,43 @@
+# ruff: noqa
+"""Seeded nondeterminism in operator kernels.
+
+The equivalence suites pin byte-identical results across batch sizes
+and executors; every construct below breaks that: set iteration order
+differs between processes (hash randomization), wall-clock and the
+module-level RNG differ between original run and replay, and id() is a
+per-process address.
+"""
+
+import random
+import time
+
+
+class Bolt:
+    """Stand-in for the topology base class (resolved by name)."""
+
+
+class UnorderedJoinBolt(Bolt):
+    def __init__(self):
+        self._seen = set()
+
+    def execute_batch(self, source, stream, rows):
+        self._seen.update(rows)
+        emissions = []
+        for row in set(rows):  # iteration order is not deterministic
+            emissions.append((stream, row))
+        return emissions
+
+    def finish(self):
+        return [(None, row) for row in self._seen | {("eos",)}]
+
+
+class WallClockBolt(Bolt):
+    def execute_batch(self, source, stream, rows):
+        stamped = [(time.time(), row) for row in rows]
+        return [(stream, row) for _ts, row in stamped]
+
+    def pick_replica(self, n_tasks):
+        return random.randrange(n_tasks)
+
+    def route_key(self, row):
+        return id(row) % 64

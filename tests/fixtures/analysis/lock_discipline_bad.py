@@ -1,0 +1,42 @@
+# ruff: noqa
+"""Seeded reconstruction of the PR 7 subscribe/fan-out race.
+
+The pre-review DeltaSink appended the new subscription to the fan-out
+list *outside* the sink lock and published the catch-up snapshot after
+releasing it, so a concurrent execute_batch could order a newer delta
+batch ahead of the attach snapshot.  squall-lint's lock-discipline rule
+must flag every unlocked touch of the GUARDED_BY fields.
+"""
+
+import threading
+
+
+class RacySink:
+    GUARDED_BY = {
+        "_subscriptions": "_lock",
+        "_counts": "_lock",
+    }
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._subscriptions = []
+        self._counts = {}
+
+    def execute_batch(self, rows):
+        with self._lock:
+            for row in rows:
+                self._counts[row] = self._counts.get(row, 0) + 1
+            subscriptions = list(self._subscriptions)
+        return subscriptions
+
+    def subscribe(self, subscription):
+        # BUG (the PR 7 race): attach outside the lock -- a concurrent
+        # execute_batch can fan out between the snapshot read and the
+        # append, silently skipping or double-delivering deltas.
+        catch_up = dict(self._counts)
+        self._subscriptions.append(subscription)
+        return catch_up
+
+    def subscriber_count(self):
+        with self._lock:
+            return len(self._subscriptions)

@@ -1,0 +1,49 @@
+# ruff: noqa
+"""An AB-BA deadlock between a broker-like registry and its sink.
+
+``Registry.attach`` takes the registry lock then calls into the sink
+(which takes the sink lock); ``Sink.teardown`` takes the sink lock then
+calls back into the registry (which takes the registry lock).  Two
+threads running one each deadlock.  squall-lint's lock-order rule must
+find the cycle, and the re-acquisition of a non-reentrant Lock must be
+flagged as a guaranteed self-deadlock.
+"""
+
+import threading
+
+
+class Registry:
+    def __init__(self, sink):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self.sink = sink
+
+    def attach(self, key, subscription):
+        with self._lock:
+            self._entries[key] = subscription
+            self.sink.admit(subscription)
+
+    def evict(self, key):
+        with self._lock:
+            self._entries.pop(key, None)
+
+
+class Sink:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.registry = None
+        self._subscribers = []
+
+    def admit(self, subscription):
+        with self._lock:
+            self._subscribers.append(subscription)
+
+    def teardown(self, key):
+        with self._lock:
+            self.registry.evict(key)
+
+    def drain(self):
+        # guaranteed self-deadlock: _lock is a plain threading.Lock
+        with self._lock:
+            with self._lock:
+                return list(self._subscribers)

@@ -1,0 +1,30 @@
+# ruff: noqa
+"""Seeded reconstruction of the unpicklable-bolt-state bug.
+
+The original Selection/Projection operators compiled their predicates
+into closures in __init__; the processes executor then failed at
+runtime trying to pickle the staged topology ("unpicklable bolt
+state").  squall-lint's pickle-safety rule must catch every such
+assignment statically: lambdas, locally defined closures, generator
+expressions, and threading primitives stored on a pipe-reachable class
+with no __getstate__.
+"""
+
+import threading
+
+
+class Bolt:
+    """Stand-in for the topology base class (resolved by name)."""
+
+
+class BadSelectionBolt(Bolt):
+    def __init__(self, column, threshold):
+        self._predicate = lambda row: row[column] > threshold
+        self._lock = threading.Lock()
+
+    def prepare(self, rows):
+        def keyer(row):
+            return row[0]
+
+        self._keyer = keyer
+        self._pending = (row for row in rows)

@@ -1,0 +1,36 @@
+# ruff: noqa
+"""The two sanctioned fixes for unpicklable bolt state: a
+__getstate__/__setstate__ pair that rebuilds the closures (what
+Selection/Projection do), or PIPE_PICKLED = False for a class that
+never crosses a pipe (what DeltaSink does)."""
+
+import threading
+
+
+class Bolt:
+    """Stand-in for the topology base class (resolved by name)."""
+
+
+class FixedSelectionBolt(Bolt):
+    def __init__(self, column, threshold):
+        self.column = column
+        self.threshold = threshold
+        self._predicate = lambda row: row[column] > threshold
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_predicate"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._predicate = (
+            lambda row: row[self.column] > self.threshold)
+
+
+class CoordinatorSink(Bolt):
+    PIPE_PICKLED = False  # coordinator-owned; never pickled whole
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}

@@ -1,0 +1,32 @@
+"""The typed core must pass mypy's basic (default) mode.
+
+The CI lint job runs ``python -m mypy src/repro/core src/repro/checkpoint
+src/repro/serving`` against the ``[tool.mypy]`` config in pyproject.toml;
+this test runs the identical check whenever mypy is importable so the
+gate is reproducible locally.  The container used for the main test run
+does not ship mypy -- the skip is expected there, the CI lint job is the
+enforcing run.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO = os.path.join(os.path.dirname(__file__), os.pardir)
+
+MYPY_TARGETS = [
+    "src/repro/core",
+    "src/repro/checkpoint",
+    "src/repro/serving",
+]
+
+
+def test_typed_core_passes_mypy():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", *MYPY_TARGETS],
+        capture_output=True, text=True, cwd=REPO)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
