@@ -1,0 +1,116 @@
+"""Observability must be (nearly) free.
+
+Runs the CPU-bound multi-way join workload at every ``observe`` level
+and gates the overhead against the unobserved run: ``metrics`` (per
+batch: two ``perf_counter`` reads, one histogram bucket increment, one
+counter add) must stay within 5%, ``trace`` (plus one span dict per
+operator hop) within 15%.
+
+Two measurement styles, on purpose:
+
+- the per-level ``benchmark`` entries feed the CI bench JSON (and the
+  committed ``BENCH_baseline.json``) so absolute regressions are
+  caught by ``check_regression.py``;
+- the *gate* interleaves the levels round-robin in a single test and
+  compares best-of minima, so shared-runner load drift hits every
+  level equally instead of biasing whichever level ran during a noisy
+  window.  A small absolute epsilon absorbs the residual jitter.
+
+The off-level run also re-asserts the invisibility contract: no
+observer object exists, and the result multiset is identical at every
+level.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import multiway_join_plan
+from repro.core.options import ExecutionOptions
+from repro.engine import run_plan
+
+from benchmarks.conftest import record_table
+
+N_ROWS = 2000
+MACHINES = 8
+BATCH_SIZE = 256
+ROUNDS = 3
+GATE_ROUNDS = 6
+
+LEVELS = ("off", "metrics", "trace")
+#: allowed slowdown vs observe='off', per level
+GATES = {"metrics": 1.05, "trace": 1.15}
+#: absolute jitter allowance (seconds) on top of the relative gate
+EPSILON = 0.010
+
+
+def observed_run(plan, level):
+    result = run_plan(plan, options=ExecutionOptions(
+        batch_size=BATCH_SIZE, observe=level))
+    return result
+
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_overhead_observability(benchmark, level):
+    plan = multiway_join_plan(n_rows=N_ROWS, machines=MACHINES)
+    outputs = []
+    observers = []
+
+    def run():
+        result = observed_run(plan, level)
+        outputs.append(sorted(result.results))
+        observers.append(result.observer)
+        return result
+
+    benchmark.extra_info["observe"] = level
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=1)
+    assert all(rows == outputs[0] for rows in outputs[1:])
+    if level == "off":
+        assert observers[-1] is None  # off means: no observer at all
+    else:
+        hist = observers[-1].registry.merged_histogram(
+            "operator_batch_seconds")
+        assert hist.count > 0
+    if level == "trace":
+        assert len(observers[-1].traces) > 0
+
+
+def test_observability_overhead_within_gates():
+    plan = multiway_join_plan(n_rows=N_ROWS, machines=MACHINES)
+    observed_run(plan, "off")  # warmup: imports, allocator, caches
+    best = {level: float("inf") for level in LEVELS}
+    results = {}
+    for _round in range(GATE_ROUNDS):
+        for level in LEVELS:
+            start = time.perf_counter()
+            result = observed_run(plan, level)
+            best[level] = min(best[level], time.perf_counter() - start)
+            results[level] = sorted(result.results)
+
+    rows = []
+    for level in LEVELS:
+        assert results[level] == results["off"]  # observing never
+        rows.append([                            # changes the answer
+            level,
+            f"{best[level] * 1000:.1f}",
+            f"{best[level] / best['off']:.3f}x",
+            f"<= {GATES[level]:.2f}x" if level in GATES else "baseline",
+        ])
+    record_table(
+        "overhead_observability",
+        f"Observability overhead, R-S-T chain join + aggregation "
+        f"({N_ROWS} rows/relation, {MACHINES} joiners, batch "
+        f"{BATCH_SIZE}, interleaved best of {GATE_ROUNDS})",
+        ["observe", "runtime (ms)", "vs off", "gate"],
+        rows,
+        notes="off builds no observer object; identical results at "
+              "every level.",
+    )
+
+    for level, gate in GATES.items():
+        assert best[level] <= best["off"] * gate + EPSILON, (
+            f"observe='{level}' overhead "
+            f"{best[level] / best['off'] - 1.0:+.1%} exceeds the "
+            f"{gate - 1.0:.0%} gate ({best[level] * 1000:.1f} ms vs "
+            f"{best['off'] * 1000:.1f} ms off)"
+        )

@@ -84,10 +84,16 @@ def measure_backend(executor: str, parallelism: Optional[int] = None,
                     n_rows: int = DEFAULT_ROWS,
                     machines: int = DEFAULT_MACHINES,
                     repeats: int = DEFAULT_REPEATS,
-                    columnar: Optional[bool] = None):
+                    columnar: Optional[bool] = None,
+                    observe: Optional[str] = None):
     """Best-of-``repeats`` runtime (seconds), the sorted result rows, and
     the last run's :class:`~repro.storm.metrics.TopologyMetrics` (path
-    counters + per-component throughput)."""
+    counters + per-component throughput).  ``observe`` runs the workload
+    under the observability layer (``"metrics"`` or ``"trace"``) so its
+    overhead can be priced against the unobserved row."""
+    from repro.core.options import ExecutionOptions
+
+    options = ExecutionOptions(observe=observe) if observe else None
     best = float("inf")
     results: list = []
     metrics = None
@@ -95,11 +101,29 @@ def measure_backend(executor: str, parallelism: Optional[int] = None,
         plan = multiway_join_plan(n_rows=n_rows, machines=machines)
         start = time.perf_counter()
         result = run_plan(plan, batch_size=batch_size, executor=executor,
-                          parallelism=parallelism, columnar=columnar)
+                          parallelism=parallelism, columnar=columnar,
+                          options=options)
         best = min(best, time.perf_counter() - start)
         results = sorted(result.results)
         metrics = result.metrics
     return best, results, metrics
+
+
+def export_sample_trace(path: str, n_rows: int = 500,
+                        machines: int = 4,
+                        batch_size: int = 64) -> int:
+    """Run the workload once at ``observe='trace'`` and write the trace
+    buffer's JSON export to ``path`` (the CI bench job uploads this as
+    an artifact); returns the number of spans exported."""
+    from repro.core.options import ExecutionOptions
+
+    plan = multiway_join_plan(n_rows=n_rows, machines=machines)
+    result = run_plan(plan, options=ExecutionOptions(
+        batch_size=batch_size, observe="trace"))
+    with open(path, "w") as handle:
+        handle.write(result.observer.traces.to_json())
+        handle.write("\n")
+    return len(result.observer.traces)
 
 
 def measure_streaming(batch_size: int = DEFAULT_BATCH_SIZE,
@@ -203,6 +227,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--threads", action="store_true",
                         help="also measure the threads backend (GIL-bound "
                              "for this pure-Python workload)")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="also run once at observe='trace' and write "
+                             "the trace buffer's JSON export to FILE")
     args = parser.parse_args(argv)
 
     # inline is measured on both paths: row (columnar=False) first as the
@@ -253,11 +280,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     timings.append(("serving x8", seconds))
 
+    # observability overhead vs the unobserved inline/row baseline
+    obs_overheads: List[Tuple[str, float]] = []
+    for level in ("metrics", "trace"):
+        seconds, results, _metrics = measure_backend(
+            "inline", batch_size=args.batch_size, n_rows=args.rows,
+            machines=args.machines, repeats=args.repeats, columnar=False,
+            observe=level)
+        if results != reference:
+            print(f"ERROR: observe={level} results differ from inline")
+            return 1
+        timings.append((f"obs={level}", seconds))
+        obs_overheads.append((level, seconds))
+
     print(speedup_table(timings, args.rows, args.machines))
+    print()
+    row_seconds = timings[0][1]
+    print("Observability overhead (vs inline/row): " + ", ".join(
+        f"{level} {seconds / row_seconds - 1.0:+.1%}"
+        for level, seconds in obs_overheads))
     print()
     print("Execution paths (which kernel actually ran):")
     for label, summary in paths:
         print(f"  {label:<14}{summary}")
+    if args.trace_out:
+        spans = export_sample_trace(args.trace_out)
+        print(f"wrote {spans} spans (observe='trace' sample run) to "
+              f"{args.trace_out}")
     cores = os.cpu_count() or 1
     if cores < 2:
         print(f"(single-core machine: the process backend cannot beat "

@@ -38,6 +38,10 @@ DEFAULT_MAX_BUFFER = 4096
 #: what happens when a subscriber's delta ring fills up
 OVERFLOW_POLICIES = ("shed", "block")
 
+#: observability levels: no observer at all / instruments only /
+#: instruments plus per-micro-batch span records (see repro.obs)
+OBSERVE_LEVELS = ("off", "metrics", "trace")
+
 #: the legacy per-call kwargs the shared adapter understands
 LEGACY_EXECUTION_KWARGS = (
     "batch_size", "executor", "parallelism", "columnar", "rate",
@@ -91,6 +95,10 @@ class ExecutionOptions:
     #: pump rounds between operator-state checkpoints (streaming
     #: executor='processes' only); None = the executor default (8)
     checkpoint_interval: Optional[int] = None
+    #: observability level: 'off' (no observer, hot paths untouched) |
+    #: 'metrics' (latency histograms, row counters, skew/queue gauges) |
+    #: 'trace' (metrics plus batch-level span records); None = 'off'
+    observe: Optional[str] = None
 
     def resolve(self, default_batch_size: int = 1) -> "ExecutionOptions":
         """Fill every unset knob with its engine-wide default.
@@ -127,6 +135,10 @@ class ExecutionOptions:
             raise ValueError(
                 f"on_overflow must be one of {OVERFLOW_POLICIES}, "
                 f"got {on_overflow!r}")
+        observe = self.observe or "off"
+        if observe not in OBSERVE_LEVELS:
+            raise ValueError(
+                f"observe must be one of {OBSERVE_LEVELS}, got {observe!r}")
         return ExecutionOptions(
             batch_size=batch_size,
             executor=self.executor or "inline",
@@ -136,6 +148,7 @@ class ExecutionOptions:
             max_buffer=max_buffer,
             on_overflow=on_overflow,
             checkpoint_interval=self.checkpoint_interval,
+            observe=observe,
         )
 
     def replace(self, **changes) -> "ExecutionOptions":

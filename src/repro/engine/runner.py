@@ -403,6 +403,9 @@ class RunResult:
     partitioner_info: Dict[str, str] = field(default_factory=dict)
     #: the compiled topology (edge structure for replication-factor lookups)
     topology: Optional[Topology] = None
+    #: the run's observability context (None unless the run executed
+    #: with ExecutionOptions(observe='metrics') or 'trace')
+    observer: Optional[object] = None
 
     @property
     def query_input(self) -> int:
@@ -428,6 +431,22 @@ class RunResult:
             )
         upstream = [edge.source for edge in self.topology.in_edges(component)]
         return self.metrics.replication_factor(component, upstream)
+
+    def profile(self) -> str:
+        """EXPLAIN-ANALYZE-style per-operator report of this run.
+
+        Always includes rows/batches/skew from the topology counters;
+        per-operator p50/p95/p99 batch latencies (and, at the trace
+        level, span counts) require the run to have executed with
+        ``ExecutionOptions(observe='metrics')`` or ``'trace'``."""
+        from repro.obs.profile import profile_report
+
+        if self.topology is None:
+            raise ValueError(
+                "profile() needs the compiled topology; this RunResult "
+                "was built without one")
+        return profile_report(self.topology, self.metrics,
+                              observer=self.observer)
 
 
 def build_topology(
@@ -581,7 +600,8 @@ def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
                           batch_size=resolved.batch_size,
                           executor=resolved.executor,
                           parallelism=resolved.parallelism,
-                          columnar=resolved.columnar)
+                          columnar=resolved.columnar,
+                          observe=resolved.observe)
 
     # all measurement state is read back from the cluster's tasks *after*
     # the run: under the processes backend these are the final instances
@@ -627,5 +647,6 @@ def run_plan(plan: PhysicalPlan, max_tuples: Optional[int] = None,
             for name, partitioner in partitioners.items()
         },
         topology=topology,
+        observer=cluster.observer,
     )
     return result

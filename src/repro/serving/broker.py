@@ -127,7 +127,11 @@ class BrokerSubscription:
         return self.resident.query.snapshot()
 
     def stats(self) -> Dict[str, object]:
-        """This subscriber's delivery state + the topology's progress."""
+        """This subscriber's delivery state + the topology's progress.
+
+        The unified stats surface: stream counters and checkpoint
+        counters from :meth:`StreamingQuery.stats` plus this tenant's
+        ``"serving"`` admission/shedding counters from the broker."""
         query = self.resident.query
         stats = query.stats()
         stats.update(
@@ -139,6 +143,7 @@ class BrokerSubscription:
             overflowed=self.subscription.overflowed,
             watermark_age=query.cluster.stats.watermark_age(),
             subscribers=self.resident.subscribers,
+            serving=self.broker.metrics.snapshot(self.tenant)[self.tenant],
         )
         return stats
 
@@ -229,6 +234,26 @@ class QueryBroker:
             "topologies": [r.info() for r in residents],
             "tenants": self.metrics.snapshot(),
         }
+
+    def collect(self) -> List[tuple]:
+        """Export-time metric samples for a ``/metrics`` scrape.
+
+        Per-tenant serving counters, then each resident topology's
+        stream/checkpoint counters labelled by fingerprint prefix, then
+        -- when a resident runs observed -- its observer registry's
+        instruments (latency histograms, row counters, skew gauges)."""
+        samples = list(self.metrics.collect())
+        with self._lock:
+            residents = list(self._registry.values())
+        for resident in residents:
+            labels = {"fingerprint": resident.fingerprint[:12]}
+            cluster = resident.query.cluster
+            samples.extend(cluster.stats.collect(labels))
+            samples.extend(cluster.checkpoints.collect(labels))
+            observer = cluster.observer
+            if observer is not None:
+                samples.extend(observer.registry.samples())
+        return samples
 
     # -- subscription lifecycle --------------------------------------------
 

@@ -19,8 +19,8 @@ What goes into the fingerprint:
   domain, parallelism, online-ness;
 - the event-time mapping (``ts_positions``) and the pipeline-shaping
   execution knobs (``batch_size``, ``executor``, ``columnar``,
-  ``rate``) -- two subscribers asking for different batch sizes get
-  different topologies, because a topology has exactly one.
+  ``rate``, ``observe``) -- two subscribers asking for different batch
+  sizes get different topologies, because a topology has exactly one.
 
 What deliberately stays out: the *subscriber-side* knobs
 (``max_buffer``, ``on_overflow``, tenant) -- they shape one consumer's
@@ -88,7 +88,8 @@ def describe_plan(plan: PhysicalPlan,
     if options is not None:
         lines.append(
             f"exec batch={options.batch_size} executor={options.executor} "
-            f"columnar={options.columnar} rate={options.rate}")
+            f"columnar={options.columnar} rate={options.rate} "
+            f"observe={options.observe}")
     return "\n".join(lines)
 
 

@@ -24,6 +24,15 @@ Protocol (newline-delimited, UTF-8):
   - ``error`` -- admission refusal, overflow shedding, or a bad
     request; terminal.
 
+A request line starting with ``GET `` is served as a one-shot HTTP
+metrics scrape instead: ``GET /metrics`` returns the broker's current
+samples in Prometheus text exposition format (v0.0.4), ``GET
+/metrics.json`` the same samples as a flat JSON object; anything else
+404s.  The samples cover per-tenant serving counters, each resident
+topology's stream/checkpoint counters, and -- for topologies running
+with ``observe='metrics'``/``'trace'`` -- the observer registry's
+latency histograms, row counters and skew gauges.
+
 The blocking subscription pops run in the event loop's default executor
 (`run_in_executor`), so one stalled client never blocks the loop; each
 client's ring bounds its memory and the broker sheds it on overflow
@@ -120,6 +129,9 @@ class DeltaServer:
             line = await reader.readline()
             if not line:
                 return
+            if line.startswith(b"GET "):
+                await self._serve_http(writer, line)
+                return
             try:
                 request = json.loads(line)
                 sql = request["sql"]
@@ -155,6 +167,43 @@ class DeltaServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    async def _serve_http(self, writer: asyncio.StreamWriter,
+                          request_line: bytes):
+        """One-shot HTTP scrape endpoint (``/metrics``, ``/metrics.json``).
+
+        Minimal HTTP/1.0: parse the path off the request line, render
+        the broker's current samples, respond, close.  Request headers
+        (if any) are left unread -- the connection is torn down either
+        way, which every scrape client handles."""
+        from repro.obs.prometheus import render
+
+        parts = request_line.decode("latin-1").split()
+        path = parts[1] if len(parts) > 1 else "/"
+        samples = self.broker.collect()
+        if path == "/metrics":
+            body = render(samples).encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+            status = "200 OK"
+        elif path == "/metrics.json":
+            flat = {}
+            for name, labels, value, _kind in samples:
+                rendered = ",".join(
+                    f'{key}="{labels[key]}"' for key in sorted(labels))
+                flat[f"{name}{{{rendered}}}" if rendered else name] = value
+            body = json.dumps(flat, sort_keys=True).encode()
+            content_type = "application/json"
+            status = "200 OK"
+        else:
+            body = b"not found\n"
+            content_type = "text/plain; charset=utf-8"
+            status = "404 Not Found"
+        writer.write(
+            f"HTTP/1.0 {status}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + body)
+        await writer.drain()
 
     async def _push_deltas(self, writer: asyncio.StreamWriter, subscription):
         loop = asyncio.get_running_loop()

@@ -24,6 +24,8 @@ Meta-commands (everything else is executed as SQL):
     \\set rate <n>           \\watch replay rows/sec (none = unthrottled)
     \\set max_buffer <n>     \\watch subscriber ring capacity (none = default)
     \\set on_overflow <v>    slow-subscriber policy: shed | block
+    \\set observe <v>        observability: off | metrics | trace
+    \\stats [sql]            per-operator profile (last query, or run <sql>)
     \\help                   this text
     \\quit                   leave the shell
 """
@@ -32,7 +34,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.options import OVERFLOW_POLICIES, ExecutionOptions
+from repro.core.options import (
+    OBSERVE_LEVELS,
+    OVERFLOW_POLICIES,
+    ExecutionOptions,
+)
 from repro.sql.catalog import SqlSession
 from repro.storm.executor import EXECUTOR_NAMES
 
@@ -53,6 +59,8 @@ class SquallShell:
         #: the shell's execution knobs, one ExecutionOptions layered under
         #: every session.execute()/stream() call (\set edits it)
         self.execution = ExecutionOptions()
+        #: last successful SQL RunResult, so a bare \stats can profile it
+        self._last_result = None
 
     # convenience views over the options object (kept read/write for
     # scripts that poked the old per-knob attributes)
@@ -140,7 +148,33 @@ class SquallShell:
             return self._watch_sql(sql)
         if command == "\\set":
             return self._set_option(args)
+        if command == "\\stats":
+            sql = line[len("\\stats"):].strip()
+            return self._stats(sql)
         return f"unknown command {command!r}; try \\help"
+
+    def _stats(self, sql: str) -> str:
+        """EXPLAIN-ANALYZE profile: of <sql> (run now, observed), or of
+        the last executed query when called bare."""
+        if sql:
+            execution = self.execution
+            if (execution.observe or "off") == "off":
+                # a profile without latencies answers nothing: observe
+                # at least 'metrics' for this one run
+                execution = execution.replace(observe="metrics")
+            try:
+                result = self.session.execute(sql, options=execution)
+            except Exception as exc:
+                return f"error: {exc}"
+            self._last_result = result
+            return result.profile()
+        if self._last_result is None:
+            return ("no query to profile yet; run one first or use "
+                    "\\stats <sql>")
+        try:
+            return self._last_result.profile()
+        except ValueError as exc:
+            return f"error: {exc}"
 
     def _list_options(self) -> str:
         options = self.session.options
@@ -163,6 +197,7 @@ class SquallShell:
             f"rate = {rate}",
             f"max_buffer = {max_buffer}",
             f"on_overflow = {execution.on_overflow or 'shed'}",
+            f"observe = {execution.observe or 'off'}",
         ])
 
     def _set_option(self, args: List[str]) -> str:
@@ -171,7 +206,7 @@ class SquallShell:
         if len(args) != 2:
             return ("usage: \\set <machines|scheme|mode|local|batch_size"
                     "|executor|parallelism|columnar|rate|max_buffer"
-                    "|on_overflow> <value>  (\\set alone lists all)")
+                    "|on_overflow|observe> <value>  (\\set alone lists all)")
         option, value = args
         options = self.session.options
         if option == "machines":
@@ -256,6 +291,12 @@ class SquallShell:
                 return "on_overflow must be " + " | ".join(OVERFLOW_POLICIES)
             self.execution = self.execution.replace(on_overflow=value)
             return f"on_overflow = {value}"
+        if option == "observe":
+            if value not in OBSERVE_LEVELS:
+                return "observe must be " + " | ".join(OBSERVE_LEVELS)
+            self.execution = self.execution.replace(
+                observe=None if value == "off" else value)
+            return f"observe = {value}"
         return f"unknown option {option!r}"
 
     def _watch_sql(self, sql: str) -> str:
@@ -303,6 +344,7 @@ class SquallShell:
             result = self.session.execute(sql, options=self.execution)
         except Exception as exc:
             return f"error: {exc}"
+        self._last_result = result
         lines = []
         for row in result.results[: self.max_rows]:
             lines.append(" | ".join(str(value) for value in row))

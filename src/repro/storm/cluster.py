@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.columnar import ColumnBatch
 from repro.core.options import ExecutionOptions
+from repro.obs import Observer
 from repro.storm.executor import ExecutorError, Router, create_executor
 from repro.storm.metrics import TopologyMetrics
 from repro.storm.topology import Bolt, Spout, Topology, TopologyError
@@ -63,6 +64,9 @@ class LocalCluster:
         # is identical to the seed engine's per-dispatch edge walk
         self._router = Router(topology)
         self._coalesce = False
+        #: per-run observability context; None = observe='off', which
+        #: keeps every hot path byte-identical to the unobserved engine
+        self._observer: Optional[Observer] = None
 
     def task(self, component: str, index: int):
         """Access a live task instance (tests, result extraction).
@@ -74,11 +78,40 @@ class LocalCluster:
     def tasks(self, component: str) -> List[object]:
         return list(self._tasks[component])
 
+    @property
+    def observer(self) -> Optional[Observer]:
+        return self._observer
+
+    def set_observer(self, observer: Optional[Observer]):
+        """Attach a per-run observability context (None turns it off).
+
+        The cluster's own counters join the observer's registry as a
+        collector, so a ``/metrics`` scrape or ``profile()`` sees the
+        topology counters without any extra recording cost."""
+        self._observer = observer
+        if observer is not None:
+            observer.registry.register_collector(self.metrics.collect)
+            # tell the skew gauge which edges are key-partitioned: one
+            # entry per component, folding all of its in-edge groupings
+            groupings: Dict[str, Tuple[str, bool]] = {}
+            for name in self.topology.components:
+                for edge in self.topology.out_edges(name):
+                    description, possible = groupings.get(
+                        edge.target, ("", False))
+                    label = edge.grouping.routing_description()
+                    if label not in description.split("+"):
+                        description = (f"{description}+{label}"
+                                       if description else label)
+                    groupings[edge.target] = (
+                        description, possible or edge.grouping.skew_possible())
+            observer.set_groupings(groupings)
+
     # -- execution ---------------------------------------------------------
 
     def run(self, max_tuples: Optional[int] = None, batch_size: int = 1,
             executor: str = "inline", parallelism: Optional[int] = None,
-            columnar: Optional[bool] = None) -> TopologyMetrics:
+            columnar: Optional[bool] = None,
+            observe: Optional[str] = None) -> TopologyMetrics:
         """Drain all spouts, then flush bolts in topological order.
 
         ``batch_size`` is the number of tuples pulled from each spout per
@@ -101,8 +134,11 @@ class LocalCluster:
         # defaults (incl. columnar-on-at-batch_size>=COLUMNAR_MIN_BATCH)
         resolved = ExecutionOptions(
             batch_size=batch_size, executor=executor,
-            parallelism=parallelism, columnar=columnar).resolve()
+            parallelism=parallelism, columnar=columnar,
+            observe=observe).resolve()
         batch_size, columnar = resolved.batch_size, resolved.columnar
+        if resolved.observe != "off" and self._observer is None:
+            self.set_observer(Observer(resolved.observe))
         self._set_columnar(columnar)
         started = time.perf_counter()
         try:
@@ -121,12 +157,15 @@ class LocalCluster:
             backend = create_executor(executor, self, parallelism)
             return backend.run(batch_size=batch_size)
         self._coalesce = batch_size > 1
+        observer = self._observer
+        trace = observer is not None and observer.trace
         spouts: List[Tuple[str, int, Spout]] = []
         for name, spec in self.topology.components.items():
             if spec.is_spout:
                 for task_index, instance in enumerate(self._tasks[name]):
                     spouts.append((name, task_index, instance))
         stack: List[_WorkItem] = []
+        ctx_stack: Optional[list] = [] if trace else None
         pulled = 0
         active = list(spouts)
         while active:
@@ -137,14 +176,30 @@ class LocalCluster:
                     limit = min(limit, max_tuples - pulled)
                     if limit <= 0:
                         return self.metrics
-                emissions = spout.next_batch(limit)
+                if observer is not None:
+                    started = time.perf_counter()
+                    emissions = spout.next_batch(limit)
+                    pull_time = time.perf_counter() - started
+                else:
+                    emissions = spout.next_batch(limit)
                 if not emissions:
                     continue
                 self.metrics.record_emit(name, task_index, len(emissions))
                 self.metrics.record_batch(name, task_index)
                 pulled += len(emissions)
-                self._push(stack, self._route_emissions(name, emissions))
-                self._drain(stack)
+                items = self._route_emissions(name, emissions)
+                if observer is None:
+                    self._push(stack, items)
+                    self._drain(stack)
+                else:
+                    observer.on_execute(name, task_index, len(emissions),
+                                        pull_time)
+                    ctx = observer.root(name, task_index, len(emissions),
+                                        pull_time)
+                    self._push(stack, items)
+                    if trace:
+                        ctx_stack.extend([ctx] * len(items))
+                    self._drain_observed(stack, ctx_stack, observer)
                 if max_tuples is not None and pulled >= max_tuples:
                     return self.metrics
                 # a short batch normally means exhaustion, but a columnar
@@ -197,14 +252,32 @@ class LocalCluster:
         self.metrics.record_emit(source, task_index, len(emissions))
         self.metrics.record_batch(source, task_index)
         stack: List[_WorkItem] = []
-        self._push(stack, self._route_emissions(source, emissions))
-        self._drain(stack)
+        items = self._route_emissions(source, emissions)
+        observer = self._observer
+        if observer is None:
+            self._push(stack, items)
+            self._drain(stack)
+            return
+        ctx = None
+        if self.topology.components[source].is_spout:
+            # a new source batch starts a new trace; watermark-driven
+            # injections (bolt components) stay untraced punctuations
+            observer.on_execute(source, task_index, len(emissions), 0.0)
+            ctx = observer.root(source, task_index, len(emissions), 0.0)
+        ctx_stack: Optional[list] = [] if observer.trace else None
+        self._push(stack, items)
+        if ctx_stack is not None:
+            ctx_stack.extend([ctx] * len(items))
+        self._drain_observed(stack, ctx_stack, observer)
 
     def flush_bolts(self):
         """Run every bolt's ``finish()`` in topological order (end of
         stream): upstream components finish before downstream ones, so a
         snapshot aggregation flushes only after all its input arrived."""
+        observer = self._observer
         stack: List[_WorkItem] = []
+        ctx_stack: Optional[list] = \
+            [] if (observer is not None and observer.trace) else None
         for name in self.topology.topological_order():
             spec = self.topology.components[name]
             if spec.is_spout:
@@ -214,8 +287,16 @@ class LocalCluster:
                 if not emissions:
                     continue
                 self.metrics.record_emit(name, task_index, len(emissions))
-                self._push(stack, self._route_emissions(name, emissions))
-                self._drain(stack)
+                items = self._route_emissions(name, emissions)
+                self._push(stack, items)
+                if observer is None:
+                    self._drain(stack)
+                else:
+                    # flush emissions are end-of-stream punctuations, not
+                    # part of any source batch's trace
+                    if ctx_stack is not None:
+                        ctx_stack.extend([None] * len(items))
+                    self._drain_observed(stack, ctx_stack, observer)
 
     # -- work queue --------------------------------------------------------
 
@@ -239,6 +320,36 @@ class LocalCluster:
             if emissions:
                 metrics.record_emit(target, task, len(emissions))
                 self._push(stack, self._route_emissions(target, emissions))
+
+    def _drain_observed(self, stack: List[_WorkItem],
+                        ctx_stack: Optional[list], observer: Observer):
+        """The observed twin of :meth:`_drain`: same scheduling, plus
+        per-batch timing, queue-depth sampling, and (at the trace level)
+        one span per hop.  ``ctx_stack`` stays aligned 1:1 with the work
+        stack; a ``None`` context marks an untraced punctuation batch."""
+        tasks = self._tasks
+        metrics = self.metrics
+        trace = ctx_stack is not None
+        while stack:
+            target, task, source, stream, rows = stack.pop()
+            ctx = ctx_stack.pop() if trace else None
+            metrics.record_receive(source, target, task, len(rows))
+            metrics.record_batch(target, task)
+            metrics.record_path(isinstance(rows, ColumnBatch), len(rows))
+            observer.on_queue_depth("inline", len(stack) + 1)
+            bolt: Bolt = tasks[target][task]
+            started = time.perf_counter()
+            emissions = bolt.execute_batch(source, stream, rows)
+            elapsed = time.perf_counter() - started
+            observer.on_execute(target, task, len(rows), elapsed)
+            child = observer.span(ctx, target, task, len(rows), elapsed)
+            if emissions:
+                metrics.record_emit(target, task, len(emissions))
+                items = self._route_emissions(target, emissions)
+                if items:
+                    stack.extend(reversed(items))
+                    if trace:
+                        ctx_stack.extend([child] * len(items))
 
     def _route_emissions(self, source: str,
                          emissions: List[Tuple[str, tuple]]) -> List[_WorkItem]:

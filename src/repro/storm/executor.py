@@ -40,10 +40,12 @@ import os
 import pickle
 import queue
 import threading
+import time
 import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.columnar import ColumnBatch, ColumnEmissions
+from repro.obs import WorkerObs
 from repro.storm.topology import Topology, TopologyError
 
 #: one routed unit of work: rows of `stream` (emitted by `source`)
@@ -225,9 +227,12 @@ class Router:
 
 #: counter deltas one worker accumulated during a wave:
 #: (emits, receives, batches) as lists of argument tuples for
-#: TopologyMetrics, plus the worker's execution-path counters
-#: [columnar_rows, columnar_batches, row_rows, row_batches]
-MetricDeltas = Tuple[List[tuple], List[tuple], List[tuple], List[int]]
+#: TopologyMetrics, the worker's execution-path counters
+#: [columnar_rows, columnar_batches, row_rows, row_batches], and the
+#: worker's observability payload (a WorkerObs.drain() dict, or None
+#: when the run is unobserved)
+MetricDeltas = Tuple[List[tuple], List[tuple], List[tuple], List[int],
+                     Optional[dict]]
 
 
 class WorkerState:
@@ -240,9 +245,13 @@ class WorkerState:
 
     def __init__(self, worker_id: int, topology: Topology,
                  tasks: Dict[str, List[object]],
-                 assignment: Dict[Tuple[str, int], int], batch_size: int):
+                 assignment: Dict[Tuple[str, int], int], batch_size: int,
+                 observe: str = "off"):
         self.worker_id = worker_id
         self.batch_size = batch_size
+        #: worker-side observability accumulator (None = observe='off':
+        #: the wave loop keeps its exact unobserved shape)
+        self.obs = None if observe == "off" else WorkerObs(worker_id, observe)
         self.is_spout = {
             name: spec.is_spout for name, spec in topology.components.items()
         }
@@ -263,7 +272,14 @@ class WorkerState:
         micro-batches; bolt components execute their delivered batches in
         arrival order and then flush (``finish``) -- the coordinator's
         barrier guarantees every input batch has already been delivered.
+
+        Observed runs take :meth:`_run_wave_observed` instead -- same
+        scheduling, plus per-batch timings (and spans at the trace
+        level, where delivered entries and routed items grow a trailing
+        span-context element).
         """
+        if self.obs is not None:
+            return self._run_wave_observed(components, delivered)
         out: List[WorkItem] = []
         emits: List[tuple] = []
         receives: List[tuple] = []
@@ -311,7 +327,86 @@ class WorkerState:
                     if emissions:
                         emits.append((name, task_index, len(emissions)))
                         out.extend(route(name, emissions))
-        return out, (emits, receives, batches, paths)
+        return out, (emits, receives, batches, paths, None)
+
+    def _run_wave_observed(self, components, delivered):
+        """The observed twin of :meth:`run_wave`."""
+        obs = self.obs
+        trace = obs.trace
+        out: List[tuple] = []
+        emits: List[tuple] = []
+        receives: List[tuple] = []
+        batches: List[tuple] = []
+        paths = [0, 0, 0, 0]
+        route = self.router.route
+        perf = time.perf_counter
+        for name in components:
+            owned = self.owned.get(name)
+            if not owned:
+                continue
+            if self.is_spout[name]:
+                for task_index in sorted(owned):
+                    spout = owned[task_index]
+                    has_more = getattr(spout, "has_more", None)
+                    while True:
+                        started = perf()
+                        emissions = spout.next_batch(self.batch_size)
+                        elapsed = perf() - started
+                        if not emissions:
+                            break
+                        emits.append((name, task_index, len(emissions)))
+                        batches.append((name, task_index))
+                        obs.record(name, task_index, len(emissions), elapsed)
+                        items = route(name, emissions)
+                        if trace:
+                            ctx = obs.root(name, task_index, len(emissions),
+                                           elapsed)
+                            out.extend(item + (ctx,) for item in items)
+                        else:
+                            out.extend(items)
+                        if len(emissions) < self.batch_size and not (
+                                has_more is not None and has_more()):
+                            break
+            else:
+                for task_index in sorted(owned):
+                    bolt = owned[task_index]
+                    for entry in delivered.get((name, task_index), ()):
+                        if trace:
+                            source, stream, rows, ctx = entry
+                        else:
+                            source, stream, rows = entry
+                            ctx = None
+                        receives.append((source, name, task_index, len(rows)))
+                        batches.append((name, task_index))
+                        if isinstance(rows, ColumnBatch):
+                            paths[0] += len(rows)
+                            paths[1] += 1
+                        else:
+                            paths[2] += len(rows)
+                            paths[3] += 1
+                        started = perf()
+                        emissions = bolt.execute_batch(source, stream, rows)
+                        elapsed = perf() - started
+                        obs.record(name, task_index, len(rows), elapsed)
+                        child = obs.span(ctx, name, task_index, len(rows),
+                                         elapsed)
+                        if emissions:
+                            emits.append((name, task_index, len(emissions)))
+                            items = route(name, emissions)
+                            if trace:
+                                out.extend(item + (child,) for item in items)
+                            else:
+                                out.extend(items)
+                    emissions = bolt.finish()
+                    if emissions:
+                        emits.append((name, task_index, len(emissions)))
+                        items = route(name, emissions)
+                        if trace:
+                            # flush emissions are punctuations, untraced
+                            out.extend(item + (None,) for item in items)
+                        else:
+                            out.extend(items)
+        return out, (emits, receives, batches, paths, obs.drain())
 
     def exports(self) -> Dict[Tuple[str, int], object]:
         """Final owned task instances, for post-run state extraction."""
@@ -460,8 +555,11 @@ class StagedExecutor:
         raise NotImplementedError
 
     def _make_state(self, worker_id: int, batch_size: int) -> WorkerState:
+        observer = self.cluster.observer
         return WorkerState(worker_id, self.cluster.topology, self.cluster._tasks,
-                           self.assignment, batch_size)
+                           self.assignment, batch_size,
+                           observe="off" if observer is None
+                           else observer.level)
 
     # -- the run -----------------------------------------------------------
 
@@ -471,10 +569,12 @@ class StagedExecutor:
             raise ExecutorError(f"batch_size must be >= 1, got {batch_size}")
         cluster = self.cluster
         metrics = cluster.metrics
+        observer = cluster.observer
+        trace = observer is not None and observer.trace
         levels = topological_levels(cluster.topology)
         workers = self._start_workers(batch_size)
         try:
-            pending: Dict[Tuple[str, int], List[Tuple[str, str, List[tuple]]]] = {}
+            pending: Dict[Tuple[str, int], List[tuple]] = {}
             for level in levels:
                 for worker_id, worker in enumerate(workers):
                     delivered = {}
@@ -492,7 +592,7 @@ class StagedExecutor:
                 # so the merged delivery order is deterministic
                 for worker in workers:
                     routed, deltas = self._reply(worker)
-                    emits, receives, batches, paths = deltas
+                    emits, receives, batches, paths, obs_payload = deltas
                     for name, task_index, count in emits:
                         metrics.record_emit(name, task_index, count)
                     for source, target, task_index, count in receives:
@@ -500,10 +600,23 @@ class StagedExecutor:
                     for name, task_index in batches:
                         metrics.record_batch(name, task_index)
                     metrics.merge_path_counts(*paths)
-                    for target, task_index, source, stream, rows in routed:
-                        pending.setdefault((target, task_index), []).append(
-                            (source, stream, rows)
-                        )
+                    if observer is not None:
+                        observer.merge_worker_obs(obs_payload)
+                    if trace:
+                        for target, task_index, source, stream, rows, ctx \
+                                in routed:
+                            pending.setdefault((target, task_index), []).append(
+                                (source, stream, rows, ctx)
+                            )
+                    else:
+                        for target, task_index, source, stream, rows in routed:
+                            pending.setdefault((target, task_index), []).append(
+                                (source, stream, rows)
+                            )
+                if observer is not None and pending:
+                    observer.on_queue_depth(
+                        "staged",
+                        sum(len(items) for items in pending.values()))
             if pending:  # pragma: no cover - level invariant violated
                 raise ExecutorError(
                     f"undelivered batches after final wave: {sorted(pending)}"
@@ -612,12 +725,15 @@ class ResidentWorkerState:
     PIPE_PICKLED = True
 
     def __init__(self, worker_id: int, owned: Dict[Tuple[str, int], object],
-                 kill_after: Optional[List[Tuple[int, int]]] = None):
+                 kill_after: Optional[List[Tuple[int, int]]] = None,
+                 observe: str = "off"):
         self.worker_id = worker_id
         self.owned = owned  # (component, task_index) -> task instance
         self.batches_executed = 0
         #: [(after_batches, signal), ...], sorted; consumed front to back
         self.kill_after = sorted(kill_after or [])
+        #: worker-side observability accumulator (None = observe='off')
+        self.obs = None if observe == "off" else WorkerObs(worker_id, observe)
 
     def _maybe_die(self):
         if not self.kill_after:
@@ -628,6 +744,8 @@ class ResidentWorkerState:
 
     def execute(self, items: List[WorkItem]):
         """Run delivered batches in order; return raw emissions + metrics."""
+        if self.obs is not None:
+            return self._execute_observed(items)
         outputs: List[Tuple[str, int, object]] = []
         emits: List[tuple] = []
         receives: List[tuple] = []
@@ -649,7 +767,53 @@ class ResidentWorkerState:
                 emits.append((target, task_index, len(emissions)))
                 outputs.append((target, task_index, emissions))
             self._maybe_die()
-        return outputs, (emits, receives, batches, paths)
+        return outputs, (emits, receives, batches, paths, None)
+
+    def _execute_observed(self, items: List[WorkItem]):
+        """``execute`` with per-batch timings and (at 'trace') spans.
+
+        Trace-level items carry a trailing span context (6-tuples) and
+        trace-level outputs grow a trailing child context (4-tuples) so
+        the coordinator can parent downstream hops; 'metrics' keeps the
+        off-level wire shapes and only ships timings in the deltas.
+        """
+        obs = self.obs
+        trace = obs.trace
+        perf = time.perf_counter
+        outputs: List[tuple] = []
+        emits: List[tuple] = []
+        receives: List[tuple] = []
+        batches: List[tuple] = []
+        paths = [0, 0, 0, 0]
+        for item in items:
+            if trace:
+                target, task_index, source, stream, rows, ctx = item
+            else:
+                target, task_index, source, stream, rows = item
+                ctx = None
+            bolt = self.owned[(target, task_index)]
+            receives.append((source, target, task_index, len(rows)))
+            batches.append((target, task_index))
+            if isinstance(rows, ColumnBatch):
+                paths[0] += len(rows)
+                paths[1] += 1
+            else:
+                paths[2] += len(rows)
+                paths[3] += 1
+            started = perf()
+            emissions = bolt.execute_batch(source, stream, rows)
+            elapsed = perf() - started
+            self.batches_executed += 1
+            obs.record(target, task_index, len(rows), elapsed)
+            child = obs.span(ctx, target, task_index, len(rows), elapsed)
+            if emissions:
+                emits.append((target, task_index, len(emissions)))
+                if trace:
+                    outputs.append((target, task_index, emissions, child))
+                else:
+                    outputs.append((target, task_index, emissions))
+            self._maybe_die()
+        return outputs, (emits, receives, batches, paths, obs.drain())
 
     def advance_watermark(self, watermark: float):
         """Apply one watermark punctuation to every owned windowed task."""
@@ -813,7 +977,8 @@ class ResidentWorkerPool:
                  tasks: Dict[str, List[object]],
                  parallelism: Optional[int] = None,
                  exclude: Optional[set] = None,
-                 kill_plan: Optional[Dict[int, List[Tuple[int, int]]]] = None):
+                 kill_plan: Optional[Dict[int, List[Tuple[int, int]]]] = None,
+                 observe: str = "off"):
         import multiprocessing
 
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -845,6 +1010,8 @@ class ResidentWorkerPool:
                            for w, specs in (kill_plan or {}).items()}
         self._workers: Dict[int, ResidentWorker] = {}
         self.respawn_count = 0
+        #: observability level shipped into every worker incarnation
+        self._observe = observe
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -866,7 +1033,8 @@ class ResidentWorkerPool:
         owned = {key: self._tasks[key[0]][key[1]]
                  for key in self.owned_keys(worker_id)}
         return ResidentWorkerState(
-            worker_id, owned, kill_after=self._kill_plan.get(worker_id))
+            worker_id, owned, kill_after=self._kill_plan.get(worker_id),
+            observe=self._observe)
 
     def start(self):
         if not self.assignment:

@@ -98,6 +98,19 @@ class Grouping:
         rather than the grouping wrapper."""
         return type(self).__name__
 
+    def skew_possible(self) -> bool:
+        """Whether per-task load can diverge under this grouping.
+
+        Key-partitioned (content-sensitive) edges concentrate hot keys
+        on single tasks -- the signal the observability layer's
+        ``partition_skew`` gauge reports and the paper's adaptive
+        repartitioning consumes.  Round-robin, broadcast and single-task
+        edges are balanced (or trivially equal) by construction, so a
+        skew gauge over them would only report batching noise; the
+        observer skips those components.
+        """
+        return self.is_content_sensitive()
+
     def routing_state(self):
         """Mutable routing state to include in a checkpoint, or None.
 

@@ -150,6 +150,32 @@ class TopologyMetrics:
         lines.append(f"network tuples: {self.total_network_tuples()}")
         return "\n".join(lines)
 
+    def collect(self, labels: Optional[Dict[str, str]] = None) -> List[tuple]:
+        """Registry-collector view: export-time samples, zero cost on the
+        recording path (see :class:`repro.obs.registry.MetricsRegistry`)."""
+        base = dict(labels or {})
+        out = []
+        for component in sorted(self.batches):
+            for task, count in enumerate(self.received.get(component, ())):
+                out.append(("topology_rows_received_total",
+                            {**base, "component": component,
+                             "task": str(task)}, float(count), "counter"))
+            for task, count in enumerate(self.emitted.get(component, ())):
+                out.append(("topology_rows_emitted_total",
+                            {**base, "component": component,
+                             "task": str(task)}, float(count), "counter"))
+            for task, count in enumerate(self.batches.get(component, ())):
+                out.append(("topology_batches_total",
+                            {**base, "component": component,
+                             "task": str(task)}, float(count), "counter"))
+            if self.component_input(component):
+                out.append(("topology_skew_degree",
+                            {**base, "component": component},
+                            self.skew_degree(component), "gauge"))
+        out.append(("topology_network_tuples_total", dict(base),
+                    float(self.total_network_tuples()), "counter"))
+        return out
+
 
 class StreamMetrics:
     """Live progress monitors of a *continuous* run (repro.streaming).
@@ -263,6 +289,28 @@ class StreamMetrics:
                 "uptime_sec": round(self._clock() - self.started_at, 3),
             }
 
+    def collect(self, labels: Optional[Dict[str, str]] = None) -> List[tuple]:
+        """Registry-collector view of the live stream monitors."""
+        base = dict(labels or {})
+        snap = self.snapshot()
+        out = [
+            ("stream_events_total", dict(base),
+             float(snap["events"]), "counter"),
+            ("stream_events_per_second", dict(base),
+             float(snap["events_per_sec"]), "gauge"),
+        ]
+        if snap["watermark"] is not None:
+            out.append(("stream_watermark", dict(base),
+                        float(snap["watermark"]), "gauge"))
+        if snap["event_time_lag"] is not None:
+            out.append(("stream_event_time_lag", dict(base),
+                        float(snap["event_time_lag"]), "gauge"))
+        age = self.watermark_age()
+        if age is not None:
+            out.append(("stream_watermark_age_seconds", dict(base),
+                        float(age), "gauge"))
+        return out
+
 
 class CheckpointMetrics:
     """Checkpoint and recovery accounting of a resident topology.
@@ -353,6 +401,19 @@ class CheckpointMetrics:
             f"{snap['replayed_rows']} rows replayed)"
         )
 
+    def collect(self, labels: Optional[Dict[str, str]] = None) -> List[tuple]:
+        """Registry-collector view of the checkpoint/recovery counters."""
+        base = dict(labels or {})
+        snap = self.snapshot()
+        return [
+            (f"checkpoint_{name}_total", dict(base), float(snap[name]),
+             "counter")
+            for name in ("commits", "partitions_persisted",
+                         "partitions_skipped", "bytes_persisted",
+                         "recoveries", "workers_respawned",
+                         "replayed_entries", "replayed_rows")
+        ]
+
 
 class ServingMetrics:
     """Per-tenant accounting of the multi-tenant serving layer.
@@ -416,3 +477,13 @@ class ServingMetrics:
             parts = " ".join(f"{k}={bucket[k]}" for k in self._COUNTERS)
             lines.append(f"{tenant}: {parts}")
         return "\n".join(lines) or "no tenants"
+
+    def collect(self, labels: Optional[Dict[str, str]] = None) -> List[tuple]:
+        """Registry-collector view of the per-tenant counters."""
+        base = dict(labels or {})
+        return [
+            (f"serving_{counter}_total", {**base, "tenant": tenant},
+             float(bucket[counter]), "counter")
+            for tenant, bucket in sorted(self.snapshot().items())
+            for counter in self._COUNTERS
+        ]

@@ -59,6 +59,7 @@ from repro.checkpoint import ChangeLog, CheckpointStore
 from repro.checkpoint.log import DATA as _LOG_DATA
 from repro.core.columnar import ColumnBatch, ColumnEmissions
 from repro.engine.operators import Projection, Selection
+from repro.obs import Observer
 from repro.storm.cluster import LocalCluster
 from repro.storm.executor import (
     ExecutorError,
@@ -167,7 +168,8 @@ class StreamingCluster:
                  checkpoint_interval: Optional[int] = None,
                  checkpoint_dir: Optional[str] = None,
                  fault_injector: Optional[FaultInjector] = None,
-                 max_recoveries: int = 5):
+                 max_recoveries: int = 5,
+                 observe: str = "off"):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if executor not in STREAMING_EXECUTORS:
@@ -200,6 +202,13 @@ class StreamingCluster:
         self.cluster.set_coalescing(batch_size > 1)
         self.metrics = self.cluster.metrics
         self.stats = StreamMetrics(clock=clock)
+        #: one Observer per observed run, shared with the inner cluster so
+        #: the inline inject() path times batches too; None = observe='off'
+        self.observer: Optional[Observer] = None
+        if observe != "off":
+            self.cluster.set_observer(Observer(observe))
+            self.observer = self.cluster.observer
+            self.observer.registry.register_collector(self.stats.collect)
         operators = source_operators or {}
         self._pumps: Dict[str, SourcePump] = {
             name: SourcePump(name, source, *operators.get(name, (None, None)),
@@ -243,6 +252,8 @@ class StreamingCluster:
         #: checkpoint/recovery accounting (always present; only the
         #: processes executor feeds it)
         self.checkpoints = CheckpointMetrics()
+        if self.observer is not None:
+            self.observer.registry.register_collector(self.checkpoints.collect)
         self._fault_injector = fault_injector
         self._pool: Optional[ResidentWorkerPool] = None
         self._pool_parallelism = parallelism
@@ -299,8 +310,7 @@ class StreamingCluster:
         """Live progress snapshot, with delta totals read off the sinks."""
         snapshot = self.stats.snapshot()
         snapshot["deltas"] = sum(sink.delta_count for sink in self._sinks)
-        if self.executor == "processes":
-            snapshot["checkpoints"] = self.checkpoints.snapshot()
+        snapshot["checkpoints"] = self.checkpoints.snapshot()
         return snapshot
 
     def run(self):
@@ -466,6 +476,7 @@ class StreamingCluster:
                             for name in self.topology.components},
             parallelism=self._pool_parallelism,
             exclude=self._coordinator_owned,
+            observe="off" if self.observer is None else self.observer.level,
         )
         if self._fault_injector is not None:
             pool.arm_kills(self._fault_injector.kill_plan(pool.assignment))
@@ -539,12 +550,18 @@ class StreamingCluster:
     def _inject_processes(self, source: str, emissions: Sequence[Emission],
                           replay: bool = False):
         """Route one source batch and drive it to quiescence."""
+        ctx = None
         if not replay:
             self.metrics.record_emit(source, 0, len(emissions))
             self.metrics.record_batch(source, 0)
-        self._drive_processes([(source, emissions)])
+            if self.observer is not None:
+                self.observer.on_execute(source, 0, len(emissions), 0.0)
+                ctx = self.observer.root(source, 0, len(emissions), 0.0)
+        self._drive_processes([(source, emissions, ctx)], replay=replay)
 
-    def _drive_processes(self, pending: List[Tuple[str, Sequence[Emission]]]):
+    def _drive_processes(self,
+                         pending: List[Tuple[str, Sequence[Emission], object]],
+                         replay: bool = False):
         """Deliver routed waves until no data is in flight anywhere.
 
         Worker-owned tasks execute remotely (one pipe round-trip per
@@ -553,24 +570,40 @@ class StreamingCluster:
         the sink.  Worker emissions come back raw and are re-routed here
         -- routing state lives only in the coordinator, so recovery never
         reconciles diverged per-worker routing.
+
+        Pending entries carry the parent span context (None when
+        unobserved or for untraced punctuations).  During a recovery
+        replay contexts are withheld and worker obs payloads discarded,
+        so a replayed batch never duplicates spans or timings.
         """
         metrics = self.metrics
         coalesce = self.batch_size > 1
+        # wire shape is set by the *pool's* level (workers unpack trace
+        # items as 6-tuples even during replay); recording is not
+        observer = None if replay else self.observer
+        trace = self.observer is not None and self.observer.trace
         while pending:
-            per_worker: Dict[int, List[WorkItem]] = {}
-            local: List[WorkItem] = []
-            for source, emissions in pending:
+            per_worker: Dict[int, List[tuple]] = {}
+            local: List[Tuple[WorkItem, object]] = []
+            for source, emissions, ctx in pending:
                 for item in self._proc_router.route(
                         source, emissions, coalesce=coalesce):
                     owner = self._pool.owner(item[0], item[1])
                     if owner is None:
-                        local.append(item)
+                        local.append((item, ctx))
+                    elif trace:
+                        per_worker.setdefault(owner, []).append(item + (ctx,))
                     else:
                         per_worker.setdefault(owner, []).append(item)
             pending = []
+            if observer is not None and (per_worker or local):
+                observer.on_queue_depth(
+                    "processes",
+                    sum(len(items) for items in per_worker.values())
+                    + len(local))
             if per_worker:
                 outputs, deltas = self._pool.execute(per_worker)
-                for emits, receives, batches, paths in deltas:
+                for emits, receives, batches, paths, obs_payload in deltas:
                     for name, task_index, count in emits:
                         metrics.record_emit(name, task_index, count)
                     for source, target, task_index, count in receives:
@@ -579,17 +612,33 @@ class StreamingCluster:
                     for name, task_index in batches:
                         metrics.record_batch(name, task_index)
                     metrics.merge_path_counts(*paths)
-                for component, task_index, emissions in outputs:
-                    pending.append((component, emissions))
-            for target, task_index, source, stream, rows in local:
+                    if observer is not None:
+                        observer.merge_worker_obs(obs_payload)
+                if trace:
+                    for component, task_index, emissions, child in outputs:
+                        pending.append((component, emissions, child))
+                else:
+                    for component, task_index, emissions in outputs:
+                        pending.append((component, emissions, None))
+            for item, ctx in local:
+                target, task_index, source, stream, rows = item
                 metrics.record_receive(source, target, task_index, len(rows))
                 metrics.record_batch(target, task_index)
                 metrics.record_path(isinstance(rows, ColumnBatch), len(rows))
                 task = self._local_tasks[(target, task_index)]
-                emissions = task.execute_batch(source, stream, rows)
+                if observer is not None:
+                    started = time.perf_counter()
+                    emissions = task.execute_batch(source, stream, rows)
+                    elapsed = time.perf_counter() - started
+                    observer.on_execute(target, task_index, len(rows), elapsed)
+                    child = observer.span(
+                        ctx, target, task_index, len(rows), elapsed)
+                else:
+                    emissions = task.execute_batch(source, stream, rows)
+                    child = None
                 if emissions:
                     metrics.record_emit(target, task_index, len(emissions))
-                    pending.append((target, emissions))
+                    pending.append((target, emissions, child))
 
     def _advance_watermark_processes(self, merged: Optional[float],
                                      replay: bool = False) -> bool:
@@ -613,9 +662,9 @@ class StreamingCluster:
         expirations = []
         for component, task_index, emissions in outputs:
             self.metrics.record_emit(component, task_index, len(emissions))
-            expirations.append((component, emissions))
+            expirations.append((component, emissions, None))
         if expirations:
-            self._drive_processes(expirations)
+            self._drive_processes(expirations, replay=replay)
         return True
 
     def _flush_processes(self):
@@ -638,13 +687,13 @@ class StreamingCluster:
                     if emissions:
                         self.metrics.record_emit(
                             name, task_index, len(emissions))
-                        self._drive_processes([(name, emissions)])
+                        self._drive_processes([(name, emissions, None)])
             else:
                 for component, task_index, emissions in \
                         self._pool.finish_component(name):
                     self.metrics.record_emit(
                         component, task_index, len(emissions))
-                    self._drive_processes([(component, emissions)])
+                    self._drive_processes([(component, emissions, None)])
         self._done.set()
         self._pool.stop()
 
@@ -774,19 +823,21 @@ class StreamingCluster:
         pump_thread.start()
 
     def _dispatch(self, router: Router, source: str,
-                  emissions: Sequence[Emission]):
+                  emissions: Sequence[Emission], ctx=None):
         """Route one component's emissions into the owning task queues.
 
         ``Queue.put`` blocks when the target queue is full: this is the
         backpressure edge -- a slow consumer stalls its producers, and
-        transitively the source pumps."""
+        transitively the source pumps.  ``ctx`` is the parent span
+        context riding with every routed batch (None when unobserved or
+        for untraced punctuation-driven emissions)."""
         if not isinstance(emissions, ColumnEmissions):
             # materialize generators; a columnar batch must NOT be listed
             # out here or it would degrade to per-row pairs
             emissions = list(emissions)
         for target, task, src, stream, rows in router.route(
                 source, emissions, coalesce=self.batch_size > 1):
-            self._queues[(target, task)].put((_DATA, src, stream, rows))
+            self._queues[(target, task)].put((_DATA, src, stream, rows, ctx))
 
     def _broadcast(self, source: str, message: tuple):
         for key in self._downstream[source]:
@@ -821,7 +872,13 @@ class StreamingCluster:
                             self.metrics.record_batch(name, 0)
                         self.stats.record_events(
                             len(emissions), pump.source.max_event_time)
-                        self._dispatch(router, name, emissions)
+                        ctx = None
+                        if self.observer is not None:
+                            self.observer.on_execute(
+                                name, 0, len(emissions), 0.0)
+                            ctx = self.observer.root(
+                                name, 0, len(emissions), 0.0)
+                        self._dispatch(router, name, emissions, ctx)
                     if pump.exhausted():
                         progressed = True
                         # the final promise covers the last batch; send it
@@ -866,6 +923,7 @@ class StreamingCluster:
     def _worker_loop(self, name: str, task_index: int, bolt):
         try:
             inbox = self._queues[(name, task_index)]
+            observer = self.observer
             router = Router(self.topology, clone=True)
             tracker = WatermarkTracker()
             for key in self._upstream_keys[name]:
@@ -894,17 +952,28 @@ class StreamingCluster:
                 message = inbox.get()
                 kind = message[0]
                 if kind == _DATA:
-                    _kind, source, stream, rows = message
+                    _kind, source, stream, rows, ctx = message
                     with self._lock:
                         self.metrics.record_receive(
                             source, name, task_index, len(rows))
                         self.metrics.record_batch(name, task_index)
-                    emissions = bolt.execute_batch(source, stream, rows)
+                    if observer is not None:
+                        observer.on_queue_depth("threads", inbox.qsize() + 1)
+                        started = time.perf_counter()
+                        emissions = bolt.execute_batch(source, stream, rows)
+                        elapsed = time.perf_counter() - started
+                        observer.on_execute(
+                            name, task_index, len(rows), elapsed)
+                        child = observer.span(
+                            ctx, name, task_index, len(rows), elapsed)
+                    else:
+                        emissions = bolt.execute_batch(source, stream, rows)
+                        child = None
                     if emissions:
                         with self._lock:
                             self.metrics.record_emit(
                                 name, task_index, len(emissions))
-                        self._dispatch(router, name, emissions)
+                        self._dispatch(router, name, emissions, child)
                 elif kind == _WM:
                     _kind, key, watermark = message
                     tracker.update(key, watermark)

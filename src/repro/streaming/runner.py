@@ -264,6 +264,7 @@ def stream_plan(plan: PhysicalPlan, batch_size: Optional[int] = None,
         parallelism=resolved.parallelism,
         checkpoint_interval=resolved.checkpoint_interval,
         checkpoint_dir=checkpoint_dir, fault_injector=fault_injector,
+        observe=resolved.observe,
     )
     return StreamingQuery(cluster, partitioner_info={
         name: partitioner.describe()
@@ -349,14 +350,42 @@ class StreamingQuery:
         return self.cluster.done
 
     def stats(self) -> Dict[str, object]:
-        """Live throughput / watermark / lag snapshot."""
+        """One unified stats dict for the whole query.
+
+        Merges the live stream counters (events, rates, watermark, lag),
+        per-sink delta totals and the checkpoint/recovery counters
+        (zeros outside the processes executor) into a single snapshot --
+        the same shape :meth:`~repro.serving.broker.BrokerSubscription.
+        stats` returns for brokered queries, which add a ``"serving"``
+        section on top."""
         return self.cluster.stats_snapshot()
 
     def checkpoint_stats(self) -> Dict[str, object]:
         """Checkpoint/recovery counters (processes executor; zeros
         elsewhere): commits, partitions persisted vs. skipped by the
-        hash-diff, bytes written, recoveries and replayed rows."""
+        hash-diff, bytes written, recoveries and replayed rows.
+        Alias for ``stats()["checkpoints"]``."""
         return self.cluster.checkpoints.snapshot()
+
+    @property
+    def observer(self):
+        """The run's :class:`~repro.obs.Observer` (None at observe='off')."""
+        return self.cluster.observer
+
+    def profile(self, title: Optional[str] = None) -> str:
+        """EXPLAIN-ANALYZE-style report over the live topology.
+
+        Per-operator batch counts, routed rows, p50/p95/p99 batch
+        latencies (when the query runs with
+        ``ExecutionOptions(observe='metrics')`` or ``'trace'``) and the
+        per-grouping skew degree.  Valid mid-run; numbers are the
+        counters' current values."""
+        from repro.obs.profile import profile_report
+
+        return profile_report(
+            self.cluster.topology, self.cluster.metrics,
+            observer=self.cluster.observer,
+            title=title or "streaming query")
 
     def worker_pids(self) -> Dict[int, Optional[int]]:
         """Resident worker pids by worker id (processes executor; empty

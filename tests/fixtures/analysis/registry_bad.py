@@ -1,0 +1,47 @@
+# ruff: noqa
+"""Seeded reconstruction of a metrics-registry dedup race.
+
+A registry that deduplicates instruments by (name, labels) must do the
+get-or-create under its lock: two run_wave threads asking for the same
+counter at once would otherwise both miss the lookup, each create an
+instrument, and one thread's increments would land on an object nobody
+ever exports.  This fixture touches the GUARDED_BY dict outside the
+lock in exactly that get-or-create; squall-lint's lock-discipline rule
+must flag every unlocked access.
+"""
+
+import threading
+
+
+class RacyRegistry:
+    GUARDED_BY = {
+        "_instruments": "_lock",
+        "_collectors": "_lock",
+    }
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments = {}
+        self._collectors = []
+
+    def counter(self, name):
+        # BUG: the lookup and the insert race -- two threads can both
+        # miss, both create, and one counter's increments are lost
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = [0]
+            self._instruments[name] = instrument
+        return instrument
+
+    def register_collector(self, collector):
+        # BUG: unlocked append can drop a concurrent registration
+        self._collectors.append(collector)
+
+    def samples(self):
+        with self._lock:
+            instruments = dict(self._instruments)
+            collectors = list(self._collectors)
+        out = [(name, value[0]) for name, value in sorted(instruments.items())]
+        for collector in collectors:
+            out.extend(collector())
+        return out

@@ -1,0 +1,47 @@
+# ruff: noqa
+"""The fixed metrics registry: get-or-create under the lock.
+
+Same shape as ``registry_bad.py`` with the dedup and collector
+registration moved inside ``with self._lock:`` (the lookup helper is
+annotated ``holds=`` because every caller already owns the lock) --
+squall-lint must report nothing.
+"""
+
+import threading
+
+
+class CleanRegistry:
+    GUARDED_BY = {
+        "_instruments": "_lock",
+        "_collectors": "_lock",
+    }
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments = {}
+        self._collectors = []
+
+    def _get_locked(self, name):  # squall-lint: holds=_lock
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = [0]
+            self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name):
+        with self._lock:
+            return self._get_locked(name)
+
+    def register_collector(self, collector):
+        with self._lock:
+            if collector not in self._collectors:
+                self._collectors.append(collector)
+
+    def samples(self):
+        with self._lock:
+            instruments = dict(self._instruments)
+            collectors = list(self._collectors)
+        out = [(name, value[0]) for name, value in sorted(instruments.items())]
+        for collector in collectors:
+            out.extend(collector())
+        return out

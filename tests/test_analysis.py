@@ -47,6 +47,19 @@ class TestSeededBugs:
     def test_fixed_subscribe_is_clean(self):
         assert findings_for("lock_discipline_clean.py") == []
 
+    def test_registry_dedup_race_is_caught(self):
+        """The obs class: instrument dedup done outside the registry lock."""
+        findings = findings_for("registry_bad.py")
+        assert rules_of(findings) == ["lock-discipline"]
+        flagged = {f.message.split("'")[1] for f in findings}
+        assert flagged == {"RacyRegistry._instruments",
+                           "RacyRegistry._collectors"}
+        methods = " ".join(f.message for f in findings)
+        assert "counter()" in methods and "register_collector()" in methods
+
+    def test_locked_registry_is_clean(self):
+        assert findings_for("registry_clean.py") == []
+
     def test_ab_ba_deadlock_cycle_is_caught(self):
         findings = findings_for("lock_order_bad.py")
         assert rules_of(findings) == ["lock-order"]

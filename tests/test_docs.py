@@ -37,7 +37,7 @@ def python_blocks(path: Path):
 def test_doc_files_exist_and_carry_code():
     assert [path.name for path in DOC_FILES] == [
         "README.md", "ARCHITECTURE.md", "FAULT_TOLERANCE.md",
-        "STATIC_ANALYSIS.md"]
+        "OBSERVABILITY.md", "STATIC_ANALYSIS.md"]
     for path in DOC_FILES:
         assert python_blocks(path), f"{path.name} has no python examples"
 

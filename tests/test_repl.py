@@ -263,3 +263,47 @@ class TestWatch:
             "GROUP BY orders.orderpriority")
         assert "cannot keep a topology resident" in output.splitlines()[0]
         assert "watch complete" in output
+
+
+class TestObservability:
+    SQL = ("SELECT customer.mktsegment, COUNT(*) FROM customer, orders "
+           "WHERE customer.custkey = orders.custkey "
+           "GROUP BY customer.mktsegment")
+
+    def test_set_observe(self, shell):
+        assert shell.handle_line("\\set observe metrics") == "observe = metrics"
+        assert shell.execution.observe == "metrics"
+        assert shell.handle_line("\\set observe trace") == "observe = trace"
+        assert shell.handle_line("\\set observe off") == "observe = off"
+        assert shell.execution.observe is None
+
+    def test_set_observe_invalid(self, shell):
+        assert "must be" in shell.handle_line("\\set observe loudly")
+        assert shell.execution.observe is None
+
+    def test_set_lists_observe(self, shell):
+        assert "observe = off" in shell.handle_line("\\set")
+        shell.handle_line("\\set observe trace")
+        assert "observe = trace" in shell.handle_line("\\set")
+
+    def test_help_mentions_stats(self, shell):
+        output = shell.handle_line("\\help")
+        assert "\\stats" in output
+        assert "\\set observe" in output
+
+    def test_stats_sql_profiles_one_observed_run(self, shell):
+        output = shell.handle_line(f"\\stats {self.SQL}")
+        for column in ("operator", "p50 ms", "p95 ms", "skew"):
+            assert column in output
+        assert "customer" in output and "orders" in output
+        # the metrics upgrade was for that run only
+        assert shell.execution.observe is None
+
+    def test_bare_stats_profiles_the_last_query(self, shell):
+        assert "no query to profile yet" in shell.handle_line("\\stats")
+        shell.handle_line(self.SQL)
+        output = shell.handle_line("\\stats")
+        assert "operator" in output and "customer" in output
+
+    def test_stats_bad_sql(self, shell):
+        assert shell.handle_line("\\stats SELECT FROM").startswith("error:")
